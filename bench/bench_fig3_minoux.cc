@@ -1,0 +1,104 @@
+// F3 — Figure 3: Minoux' linear-time algorithm for propositional Horn-SAT.
+// We replay the paper's Example 3.3 instance, then measure runtime against
+// instance size on two clause families; the expected shape is linear (the
+// Complexity() fit should report ~O(N)).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "datalog/horn.h"
+#include "util/random.h"
+
+namespace {
+
+void PrintExample33() {
+  std::printf("=== Figure 3 on Example 3.3 ===\n");
+  treeq::horn::HornInstance h;
+  h.AddPredicates(7);
+  h.AddFact(1);
+  h.AddFact(2);
+  h.AddFact(3);
+  h.AddClause(4, {1});
+  h.AddClause(5, {3, 4});
+  h.AddClause(6, {2, 5});
+  std::vector<treeq::horn::PredId> order;
+  std::vector<char> truth = h.Solve(&order);
+  std::printf("derivation order:");
+  for (treeq::horn::PredId p : order) std::printf(" %d", p);
+  std::printf("\n(the paper's trace starts q = [1, 2, 3] and pops 1 first)\n");
+  std::printf("model: ");
+  for (int p = 1; p <= 6; ++p) std::printf("%d=%s ", p, truth[p] ? "T" : "F");
+  std::printf("\n\n");
+}
+
+/// A chain instance: facts at the bottom, every clause consumed once.
+treeq::horn::HornInstance ChainInstance(int n) {
+  treeq::horn::HornInstance h;
+  h.AddPredicates(n);
+  h.AddFact(0);
+  for (int i = 1; i < n; ++i) h.AddClause(i, {i - 1, (i - 1) / 2});
+  return h;
+}
+
+/// Random definite Horn instance with 3 clauses per predicate.
+treeq::horn::HornInstance RandomInstance(int n, treeq::Rng* rng) {
+  treeq::horn::HornInstance h;
+  h.AddPredicates(n);
+  for (int i = 0; i < n / 10 + 1; ++i) {
+    h.AddFact(static_cast<treeq::horn::PredId>(rng->Uniform(0, n - 1)));
+  }
+  for (int c = 0; c < 3 * n; ++c) {
+    treeq::horn::PredId head =
+        static_cast<treeq::horn::PredId>(rng->Uniform(0, n - 1));
+    std::vector<treeq::horn::PredId> body;
+    int len = static_cast<int>(rng->Uniform(1, 3));
+    for (int i = 0; i < len; ++i) {
+      body.push_back(
+          static_cast<treeq::horn::PredId>(rng->Uniform(0, n - 1)));
+    }
+    h.AddClause(head, std::move(body));
+  }
+  return h;
+}
+
+void BM_MinouxChain(benchmark::State& state) {
+  treeq::horn::HornInstance h = ChainInstance(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<char> truth = h.Solve();
+    benchmark::DoNotOptimize(truth.data());
+  }
+  state.SetComplexityN(h.SizeInLiterals());
+  state.counters["literals"] = static_cast<double>(h.SizeInLiterals());
+}
+BENCHMARK(BM_MinouxChain)
+    ->RangeMultiplier(4)
+    ->Range(1024, 262144)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MinouxRandom(benchmark::State& state) {
+  treeq::Rng rng(11);
+  treeq::horn::HornInstance h =
+      RandomInstance(static_cast<int>(state.range(0)), &rng);
+  for (auto _ : state) {
+    std::vector<char> truth = h.Solve();
+    benchmark::DoNotOptimize(truth.data());
+  }
+  state.SetComplexityN(h.SizeInLiterals());
+  state.counters["literals"] = static_cast<double>(h.SizeInLiterals());
+}
+BENCHMARK(BM_MinouxRandom)
+    ->RangeMultiplier(4)
+    ->Range(1024, 262144)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExample33();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

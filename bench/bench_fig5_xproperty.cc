@@ -1,0 +1,93 @@
+// F5 — Figure 5 / Proposition 6.6: the X-underbar property. The matrix of
+// axis x order is regenerated empirically (checking Definition 6.3 on a
+// generated tree family) and compared against the Proposition 6.6 table the
+// dichotomy dispatcher uses. Checker cost is also timed.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "cq/x_property.h"
+#include "tree/generator.h"
+#include "tree/orders.h"
+#include "util/random.h"
+
+namespace {
+
+using treeq::cq::TreeOrder;
+
+constexpr treeq::Axis kAxes[] = {
+    treeq::Axis::kSelf,
+    treeq::Axis::kChild,
+    treeq::Axis::kDescendant,
+    treeq::Axis::kDescendantOrSelf,
+    treeq::Axis::kNextSibling,
+    treeq::Axis::kFollowingSibling,
+    treeq::Axis::kFollowingSiblingOrSelf,
+    treeq::Axis::kFollowing,
+    treeq::Axis::kFirstChild,
+};
+
+void PrintMatrix() {
+  std::printf("=== Proposition 6.6: which axes have X-underbar w.r.t. which "
+              "order ===\n");
+  std::printf("(cell: table / empirical over 20 random trees; tau_1 = <pre "
+              "column,\n tau_2 = <post, tau_3 = <bflr)\n\n");
+  std::vector<treeq::Tree> trees;
+  for (int seed = 0; seed < 20; ++seed) {
+    treeq::Rng rng(seed);
+    treeq::RandomTreeOptions opts;
+    opts.num_nodes = 12;
+    opts.attach_window = 1 + seed % 6;
+    trees.push_back(treeq::RandomTree(&rng, opts));
+  }
+  std::printf("%-28s %-14s %-14s %-14s\n", "axis", "<pre", "<post", "<bflr");
+  bool all_agree = true;
+  for (treeq::Axis axis : kAxes) {
+    std::printf("%-28s", treeq::AxisName(axis));
+    for (TreeOrder order :
+         {TreeOrder::kPre, TreeOrder::kPost, TreeOrder::kBflr}) {
+      bool table = treeq::cq::XPropertyHolds(axis, order);
+      bool empirical = true;
+      for (const treeq::Tree& t : trees) {
+        treeq::TreeOrders o = treeq::ComputeOrders(t);
+        empirical =
+            empirical && treeq::cq::AxisHasXPropertyOn(t, o, axis, order);
+      }
+      // The table claims "holds on every tree": table==true must imply
+      // empirical==true; table==false should be refuted by some tree.
+      bool consistent = table ? empirical : !empirical;
+      all_agree = all_agree && consistent;
+      std::printf("%-14s", table ? (empirical ? "X/X" : "X/refuted?!")
+                                 : (empirical ? "-/unrefuted" : "-/-"));
+    }
+    std::printf("\n");
+  }
+  std::printf("\ntable consistent with the empirical check: %s\n\n",
+              all_agree ? "yes" : "NO — BUG");
+}
+
+void BM_XPropertyChecker(benchmark::State& state) {
+  treeq::Rng rng(3);
+  treeq::RandomTreeOptions opts;
+  opts.num_nodes = static_cast<int>(state.range(0));
+  treeq::Tree t = treeq::RandomTree(&rng, opts);
+  treeq::TreeOrders o = treeq::ComputeOrders(t);
+  for (auto _ : state) {
+    bool holds = treeq::cq::AxisHasXPropertyOn(
+        t, o, treeq::Axis::kDescendant, TreeOrder::kPre);
+    benchmark::DoNotOptimize(holds);
+  }
+}
+BENCHMARK(BM_XPropertyChecker)->Arg(16)->Arg(32)->Arg(64)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintMatrix();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

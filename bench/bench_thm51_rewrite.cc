@@ -1,0 +1,115 @@
+// S5a — Theorem 5.1: rewriting conjunctive queries into unions of acyclic
+// positive queries is exponential in general ([35] shows this is
+// necessary), but linear for CQ[{Child, NextSibling}] (implicit in [31]).
+// We sweep the variable count and report order types enumerated, surviving
+// disjuncts, and rewrite time; the special case stays flat.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "cq/parser.h"
+#include "cq/rewrite.h"
+
+namespace {
+
+/// A star-join query with k leaf variables below a common ancestor:
+/// Q() :- Child+(x, y1), ..., Child+(x, yk), Lab(yi).
+treeq::cq::ConjunctiveQuery StarQuery(int k) {
+  std::string text = "Q() :- Lab_a(x)";
+  for (int i = 1; i <= k; ++i) {
+    text += ", Child+(x, y" + std::to_string(i) + ")";
+    text += std::string(", Lab_") + (i % 2 ? "b" : "c") + "(y" +
+            std::to_string(i) + ")";
+  }
+  text += ".";
+  return treeq::cq::ParseCq(text).value();
+}
+
+/// The same shape in the tractable signature.
+treeq::cq::ConjunctiveQuery CnsQuery(int k) {
+  std::string text = "Q() :- Lab_a(x)";
+  for (int i = 1; i <= k; ++i) {
+    text += ", Child(x, y" + std::to_string(i) + ")";
+  }
+  text += ".";
+  return treeq::cq::ParseCq(text).value();
+}
+
+void PrintBlowup() {
+  std::printf("=== Theorem 5.1: rewrite blow-up (eager vs lazy [35]) ===\n");
+  std::printf("%-6s %-8s %-14s %-12s %-14s %-12s\n", "k", "vars",
+              "eager orders", "disjuncts", "lazy leaves", "disjuncts");
+  for (int k : {1, 2, 3, 4}) {
+    treeq::cq::ConjunctiveQuery q = StarQuery(k);
+    auto eager = std::move(treeq::cq::RewriteToAcyclicUnion(q)).value();
+    auto lazy = std::move(treeq::cq::RewriteToAcyclicUnionLazy(q)).value();
+    std::printf("%-6d %-8d %-14d %-12zu %-14d %-12zu\n", k, q.num_vars(),
+                eager.order_types_considered, eager.queries.size(),
+                lazy.order_types_considered, lazy.queries.size());
+  }
+  std::printf("(eager = ordered Bell numbers 1, 3, 13, 75, 541, ...; lazy "
+              "branches on demand)\n");
+  std::printf("\nCQ[Child, NextSibling] special case (no enumeration):\n");
+  std::printf("%-6s %-8s %-14s\n", "k", "vars", "result");
+  for (int k : {2, 4, 8, 16}) {
+    treeq::cq::ConjunctiveQuery q = CnsQuery(k);
+    auto out = std::move(treeq::cq::RewriteChildNextSibling(q)).value();
+    std::printf("%-6d %-8d %-14s\n", k, q.num_vars(),
+                out.has_value() ? "single acyclic query" : "unsatisfiable");
+  }
+  std::printf("\n");
+}
+
+void BM_EagerRewrite(benchmark::State& state) {
+  treeq::cq::ConjunctiveQuery q = StarQuery(static_cast<int>(state.range(0)));
+  size_t disjuncts = 0;
+  for (auto _ : state) {
+    auto out = treeq::cq::RewriteToAcyclicUnion(q);
+    disjuncts = out.value().queries.size();
+    benchmark::DoNotOptimize(disjuncts);
+  }
+  state.counters["disjuncts"] = static_cast<double>(disjuncts);
+}
+BENCHMARK(BM_EagerRewrite)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_LazyRewrite(benchmark::State& state) {
+  treeq::cq::ConjunctiveQuery q = StarQuery(static_cast<int>(state.range(0)));
+  size_t disjuncts = 0;
+  for (auto _ : state) {
+    auto out = treeq::cq::RewriteToAcyclicUnionLazy(q);
+    disjuncts = out.value().queries.size();
+    benchmark::DoNotOptimize(disjuncts);
+  }
+  state.counters["disjuncts"] = static_cast<double>(disjuncts);
+}
+BENCHMARK(BM_LazyRewrite)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Arg(5)->Arg(6)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_ChildNextSiblingRewrite(benchmark::State& state) {
+  treeq::cq::ConjunctiveQuery q = CnsQuery(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto out = treeq::cq::RewriteChildNextSibling(q);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ChildNextSiblingRewrite)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintBlowup();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,147 @@
+// S4b — Core XPath combined complexity: the set-at-a-time evaluator runs in
+// O(|D| * |Q|) ([32,33], Section 4), while the textbook per-context-node
+// recursive interpreter is exponential in the query (the "engines are
+// exponential" observation that motivated [32]). Query sweep on //*//*...
+// chains: naive rule applications grow ~|D|^k; the linear evaluator stays
+// proportional to k.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "tree/generator.h"
+#include "tree/orders.h"
+#include "util/random.h"
+#include "xpath/evaluator.h"
+#include "xpath/naive_evaluator.h"
+#include "xpath/parser.h"
+
+namespace {
+
+treeq::Tree MakeTree(int n) {
+  treeq::Rng rng(5);
+  treeq::RandomTreeOptions opts;
+  opts.num_nodes = n;
+  opts.attach_window = 3;
+  opts.alphabet = {"a"};
+  return treeq::RandomTree(&rng, opts);
+}
+
+std::string DescendantChain(int k) {
+  std::string q = "descendant::*";
+  for (int i = 1; i < k; ++i) q += "/descendant::*";
+  return q;
+}
+
+// Right-associated chain d/(d/(d/...)): the shape on which per-context
+// re-evaluation is Theta(n^k) — the parser's left association would let
+// even the naive interpreter get away with polynomial work, so the
+// worst case is built directly.
+std::unique_ptr<treeq::xpath::PathExpr> RightNestedChain(int k) {
+  std::unique_ptr<treeq::xpath::PathExpr> chain =
+      treeq::xpath::PathExpr::MakeStep(treeq::Axis::kDescendant);
+  for (int i = 1; i < k; ++i) {
+    chain = treeq::xpath::PathExpr::MakeSeq(
+        treeq::xpath::PathExpr::MakeStep(treeq::Axis::kDescendant),
+        std::move(chain));
+  }
+  return chain;
+}
+
+void PrintBlowupTable() {
+  std::printf("=== naive recursive XPath: rule applications vs |Q| ===\n");
+  std::printf("(document: 60 nodes; query: k right-nested descendant "
+              "steps)\n");
+  std::printf("%-6s %-20s %-20s\n", "k", "naive applications",
+              "set-at-a-time axis ops (=k)");
+  treeq::Tree t = MakeTree(60);
+  treeq::TreeOrders o = treeq::ComputeOrders(t);
+  for (int k : {1, 2, 3, 4, 5}) {
+    auto q = RightNestedChain(k);
+    treeq::xpath::NaiveStats stats;
+    auto r = treeq::xpath::NaiveEvalPath(t, o, *q, t.root(),
+                                         /*budget=*/500'000'000, &stats);
+    if (!r.ok()) {
+      std::printf("%-6d %-20s %-20d\n", k, "(budget exceeded)", k);
+      continue;
+    }
+    std::printf("%-6d %-20llu %-20d\n", k,
+                static_cast<unsigned long long>(stats.rule_applications), k);
+  }
+  std::printf("(naive column grows geometrically: exponential combined "
+              "complexity;\n the linear evaluator touches each "
+              "subexpression once)\n\n");
+}
+
+void BM_SetAtATimeDataSweep(benchmark::State& state) {
+  treeq::Tree t = MakeTree(static_cast<int>(state.range(0)));
+  treeq::TreeOrders o = treeq::ComputeOrders(t);
+  auto q = treeq::xpath::ParseXPath(DescendantChain(4)).value();
+  for (auto _ : state) {
+    treeq::NodeSet r = treeq::xpath::EvalQueryFromRoot(t, o, *q);
+    benchmark::DoNotOptimize(r.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SetAtATimeDataSweep)
+    ->RangeMultiplier(4)
+    ->Range(1024, 65536)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SetAtATimeQuerySweep(benchmark::State& state) {
+  treeq::Tree t = MakeTree(4096);
+  treeq::TreeOrders o = treeq::ComputeOrders(t);
+  auto q = treeq::xpath::ParseXPath(
+               DescendantChain(static_cast<int>(state.range(0))))
+               .value();
+  for (auto _ : state) {
+    treeq::NodeSet r = treeq::xpath::EvalQueryFromRoot(t, o, *q);
+    benchmark::DoNotOptimize(r.size());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SetAtATimeQuerySweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Complexity(benchmark::oN)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NaiveQuerySweep(benchmark::State& state) {
+  treeq::Tree t = MakeTree(48);
+  treeq::TreeOrders o = treeq::ComputeOrders(t);
+  auto q = RightNestedChain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = treeq::xpath::NaiveEvalPath(t, o, *q, t.root());
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_NaiveQuerySweep)->Arg(1)->Arg(2)->Arg(3)->Arg(4)->Unit(
+    benchmark::kMicrosecond);
+
+// Qualifier-heavy query: nested predicates are where early engines melted.
+void BM_NestedQualifiers(benchmark::State& state) {
+  treeq::Tree t = MakeTree(2048);
+  treeq::TreeOrders o = treeq::ComputeOrders(t);
+  std::string text = "descendant::a";
+  for (int i = 0; i < 6; ++i) text = "descendant::a[" + text + "]";
+  auto q = treeq::xpath::ParseXPath(text).value();
+  for (auto _ : state) {
+    treeq::NodeSet r = treeq::xpath::EvalQueryFromRoot(t, o, *q);
+    benchmark::DoNotOptimize(r.size());
+  }
+}
+BENCHMARK(BM_NestedQualifiers)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintBlowupTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,269 @@
+#include "cq/arc_consistency.h"
+
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "datalog/horn.h"
+
+namespace treeq {
+namespace cq {
+namespace {
+
+/// Materialized adjacency of one axis over the tree (both directions).
+struct Adjacency {
+  std::vector<std::vector<NodeId>> fwd;  // fwd[u] = {v : axis(u, v)}
+  std::vector<std::vector<NodeId>> rev;  // rev[v] = {u : axis(u, v)}
+};
+
+Adjacency Materialize(const Tree& tree, const TreeOrders& orders, Axis axis) {
+  const int n = tree.num_nodes();
+  Adjacency adj;
+  adj.fwd.resize(n);
+  adj.rev.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (AxisHolds(tree, orders, axis, u, v)) {
+        adj.fwd[u].push_back(v);
+        adj.rev[v].push_back(u);
+      }
+    }
+  }
+  return adj;
+}
+
+/// Initial candidate sets: intersection of the unary (label) atoms and the
+/// caller-provided restriction, if any.
+PreValuation InitialTheta(const ConjunctiveQuery& query, const Tree& tree,
+                          const PreValuation* initial) {
+  const int n = tree.num_nodes();
+  PreValuation theta(query.num_vars(), NodeSet::All(n));
+  if (initial != nullptr) {
+    TREEQ_CHECK(static_cast<int>(initial->size()) == query.num_vars());
+    for (int x = 0; x < query.num_vars(); ++x) {
+      theta[x].IntersectWith((*initial)[x]);
+    }
+  }
+  for (const LabelAtom& a : query.label_atoms()) {
+    NodeSet& set = theta[a.var];
+    for (NodeId v = 0; v < n; ++v) {
+      if (set.Contains(v) && !tree.HasLabel(v, a.label)) set.Erase(v);
+    }
+  }
+  return theta;
+}
+
+std::map<Axis, Adjacency> MaterializeUsedAxes(const ConjunctiveQuery& query,
+                                              const Tree& tree,
+                                              const TreeOrders& orders) {
+  std::map<Axis, Adjacency> adjacency;
+  for (Axis axis : query.AxesUsed()) {
+    adjacency.emplace(axis, Materialize(tree, orders, axis));
+  }
+  return adjacency;
+}
+
+AcResult DirectAc(const ConjunctiveQuery& query, const Tree& tree,
+                  const TreeOrders& orders, const PreValuation* initial) {
+  const int n = tree.num_nodes();
+  PreValuation theta = InitialTheta(query, tree, initial);
+  std::map<Axis, Adjacency> adjacency = MaterializeUsedAxes(query, tree, orders);
+
+  // AC-4 support counters: per directed constraint (atom, side) and value,
+  // the number of supporting partners still alive.
+  const int num_atoms = static_cast<int>(query.axis_atoms().size());
+  // counters[2 * atom + 0][v]: supports of v in Theta(var0) among Theta(var1)
+  // counters[2 * atom + 1][w]: supports of w in Theta(var1) among Theta(var0)
+  std::vector<std::vector<int>> counters(2 * num_atoms,
+                                         std::vector<int>(n, 0));
+
+  std::deque<std::pair<int, NodeId>> removed;  // (variable, value)
+  auto erase_value = [&](int var, NodeId v) {
+    if (theta[var].Contains(v)) {
+      theta[var].Erase(v);
+      removed.emplace_back(var, v);
+    }
+  };
+
+  // Initialize counters; values with zero support are removed.
+  for (int i = 0; i < num_atoms; ++i) {
+    const AxisAtom& atom = query.axis_atoms()[i];
+    const Adjacency& adj = adjacency.at(atom.axis);
+    for (NodeId v = 0; v < n; ++v) {
+      if (theta[atom.var0].Contains(v)) {
+        int count = 0;
+        for (NodeId w : adj.fwd[v]) {
+          if (theta[atom.var1].Contains(w)) ++count;
+        }
+        counters[2 * i][v] = count;
+      }
+      if (theta[atom.var1].Contains(v)) {
+        int count = 0;
+        for (NodeId u : adj.rev[v]) {
+          if (theta[atom.var0].Contains(u)) ++count;
+        }
+        counters[2 * i + 1][v] = count;
+      }
+    }
+  }
+  for (int i = 0; i < num_atoms; ++i) {
+    const AxisAtom& atom = query.axis_atoms()[i];
+    for (NodeId v = 0; v < n; ++v) {
+      if (theta[atom.var0].Contains(v) && counters[2 * i][v] == 0) {
+        erase_value(atom.var0, v);
+      }
+      if (theta[atom.var1].Contains(v) && counters[2 * i + 1][v] == 0) {
+        erase_value(atom.var1, v);
+      }
+    }
+  }
+
+  // Propagate removals.
+  while (!removed.empty()) {
+    auto [var, value] = removed.front();
+    removed.pop_front();
+    for (int i = 0; i < num_atoms; ++i) {
+      const AxisAtom& atom = query.axis_atoms()[i];
+      const Adjacency& adj = adjacency.at(atom.axis);
+      if (atom.var1 == var) {
+        // value left Theta(var1): decrement supports of its rev-partners.
+        for (NodeId u : adj.rev[value]) {
+          if (theta[atom.var0].Contains(u) && --counters[2 * i][u] == 0) {
+            erase_value(atom.var0, u);
+          }
+        }
+      }
+      if (atom.var0 == var) {
+        for (NodeId w : adj.fwd[value]) {
+          if (theta[atom.var1].Contains(w) &&
+              --counters[2 * i + 1][w] == 0) {
+            erase_value(atom.var1, w);
+          }
+        }
+      }
+    }
+  }
+
+  AcResult result;
+  result.theta = std::move(theta);
+  result.consistent = true;
+  for (const NodeSet& set : result.theta) {
+    if (set.empty()) result.consistent = false;
+  }
+  return result;
+}
+
+/// The paper's proof of Proposition 6.2: propositions ThetaBar(x, v) mean
+/// "v is NOT in Theta(x)"; Horn clauses derive exactly the unsupported
+/// values, and Minoux' algorithm solves the instance in linear time.
+AcResult HornAc(const ConjunctiveQuery& query, const Tree& tree,
+                const TreeOrders& orders, const PreValuation* initial) {
+  const int n = tree.num_nodes();
+  std::map<Axis, Adjacency> adjacency = MaterializeUsedAxes(query, tree, orders);
+
+  horn::HornInstance instance;
+  // Proposition ids: var * n + v.
+  instance.AddPredicates(query.num_vars() * n);
+  auto prop = [n](int var, NodeId v) { return var * n + v; };
+
+  // { ThetaBar(x, v) <- .  |  P(x) in Q, not P(v) } — the caller-provided
+  // restriction acts as extra singleton unary relations.
+  for (const LabelAtom& a : query.label_atoms()) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (!tree.HasLabel(v, a.label)) instance.AddFact(prop(a.var, v));
+    }
+  }
+  if (initial != nullptr) {
+    TREEQ_CHECK(static_cast<int>(initial->size()) == query.num_vars());
+    for (int x = 0; x < query.num_vars(); ++x) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (!(*initial)[x].Contains(v)) instance.AddFact(prop(x, v));
+      }
+    }
+  }
+  // { ThetaBar(x, v) <- AND { ThetaBar(y, w) | R(v, w) }  |  R(x, y) in Q }
+  // and symmetrically for the second argument.
+  for (const AxisAtom& a : query.axis_atoms()) {
+    const Adjacency& adj = adjacency.at(a.axis);
+    for (NodeId v = 0; v < n; ++v) {
+      std::vector<horn::PredId> body;
+      body.reserve(adj.fwd[v].size());
+      for (NodeId w : adj.fwd[v]) body.push_back(prop(a.var1, w));
+      instance.AddClause(prop(a.var0, v), std::move(body));
+    }
+    for (NodeId w = 0; w < n; ++w) {
+      std::vector<horn::PredId> body;
+      body.reserve(adj.rev[w].size());
+      for (NodeId u : adj.rev[w]) body.push_back(prop(a.var0, u));
+      instance.AddClause(prop(a.var1, w), std::move(body));
+    }
+  }
+
+  std::vector<char> excluded = instance.Solve();
+  AcResult result;
+  result.theta.assign(query.num_vars(), NodeSet(n));
+  result.consistent = true;
+  for (int x = 0; x < query.num_vars(); ++x) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (!excluded[prop(x, v)]) result.theta[x].Insert(v);
+    }
+    if (result.theta[x].empty()) result.consistent = false;
+  }
+  return result;
+}
+
+}  // namespace
+
+AcResult ComputeMaxArcConsistent(const ConjunctiveQuery& query,
+                                 const Tree& tree, const TreeOrders& orders,
+                                 AcImplementation implementation,
+                                 const PreValuation* initial) {
+  TREEQ_CHECK(query.Validate().ok());
+  switch (implementation) {
+    case AcImplementation::kDirect:
+      return DirectAc(query, tree, orders, initial);
+    case AcImplementation::kHornEncoding:
+      return HornAc(query, tree, orders, initial);
+  }
+  TREEQ_CHECK(false);
+  return {};
+}
+
+bool IsArcConsistent(const ConjunctiveQuery& query, const Tree& tree,
+                     const TreeOrders& orders, const PreValuation& theta) {
+  const int n = tree.num_nodes();
+  for (const NodeSet& set : theta) {
+    if (set.empty()) return false;
+  }
+  for (const LabelAtom& a : query.label_atoms()) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (theta[a.var].Contains(v) && !tree.HasLabel(v, a.label)) {
+        return false;
+      }
+    }
+  }
+  for (const AxisAtom& a : query.axis_atoms()) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (theta[a.var0].Contains(v)) {
+        bool support = false;
+        for (NodeId w = 0; w < n && !support; ++w) {
+          support = theta[a.var1].Contains(w) &&
+                    AxisHolds(tree, orders, a.axis, v, w);
+        }
+        if (!support) return false;
+      }
+      if (theta[a.var1].Contains(v)) {
+        bool support = false;
+        for (NodeId u = 0; u < n && !support; ++u) {
+          support = theta[a.var0].Contains(u) &&
+                    AxisHolds(tree, orders, a.axis, u, v);
+        }
+        if (!support) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace cq
+}  // namespace treeq

@@ -1,0 +1,61 @@
+#ifndef TREEQ_CQ_ARC_CONSISTENCY_H_
+#define TREEQ_CQ_ARC_CONSISTENCY_H_
+
+#include <vector>
+
+#include "cq/ast.h"
+#include "tree/orders.h"
+#include "util/status.h"
+
+/// \file arc_consistency.h
+/// Arc-consistent pre-valuations (Section 6). A pre-valuation assigns each
+/// query variable a nonempty candidate node set; it is arc-consistent when
+/// every unary atom holds on every candidate and every binary atom has
+/// support in both directions (Definition in Section 6).
+///
+/// ComputeMaxArcConsistent computes the unique subset-maximal arc-consistent
+/// pre-valuation in O(||A|| * |Q|) (Proposition 6.2), where ||A|| counts the
+/// materialized axis relations. Two interchangeable implementations are
+/// provided (an ablation benchmarked in bench_thm65_xbar):
+///   - kHornEncoding: the paper's proof verbatim — encode "v is NOT in
+///     Theta(x)" as propositional Horn clauses and run Minoux' algorithm;
+///   - kDirect: an AC-4-style support-counting worklist, same asymptotics,
+///     smaller constants.
+
+namespace treeq {
+namespace cq {
+
+/// Candidate sets, indexed by query variable.
+using PreValuation = std::vector<NodeSet>;
+
+enum class AcImplementation {
+  kDirect,
+  kHornEncoding,
+};
+
+/// Result of the maximal-arc-consistency computation. When `consistent` is
+/// false some variable's candidate set is empty and no arc-consistent
+/// pre-valuation exists (so the query is unsatisfiable, Section 6).
+struct AcResult {
+  bool consistent = false;
+  PreValuation theta;
+};
+
+/// Computes the subset-maximal arc-consistent pre-valuation of `query` on
+/// `tree`. If `initial` is non-null it restricts the starting candidate
+/// sets (used e.g. for the singleton relations of tuple-membership checks,
+/// Section 6); by default every variable starts at the whole domain.
+AcResult ComputeMaxArcConsistent(
+    const ConjunctiveQuery& query, const Tree& tree, const TreeOrders& orders,
+    AcImplementation implementation = AcImplementation::kDirect,
+    const PreValuation* initial = nullptr);
+
+/// Checks the arc-consistency conditions for `theta` directly from the
+/// definition (O(|Q| * n^2); for tests).
+bool IsArcConsistent(const ConjunctiveQuery& query, const Tree& tree,
+                     const TreeOrders& orders, const PreValuation& theta);
+
+}  // namespace cq
+}  // namespace treeq
+
+#endif  // TREEQ_CQ_ARC_CONSISTENCY_H_

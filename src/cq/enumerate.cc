@@ -1,0 +1,123 @@
+#include "cq/enumerate.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace treeq {
+namespace cq {
+
+namespace {
+
+/// Figure 6, iteratively over the DFS variable order x1, ..., xn.
+class SolutionEnumerator {
+ public:
+  SolutionEnumerator(const ConjunctiveQuery& query, const Tree& tree,
+                     const TreeOrders& orders, const ReducedQuery& reduced)
+      : query_(query), tree_(tree), orders_(orders), reduced_(reduced) {}
+
+  Result<std::vector<std::vector<NodeId>>> Run(uint64_t limit) {
+    const int k = query_.num_vars();
+    // Pre-order DFS numbering of the query tree (Figure 6's x1..xn).
+    int root = -1;
+    std::vector<std::vector<int>> children(k);
+    for (int v = 0; v < k; ++v) {
+      if (reduced_.parent_var[v] == -1) {
+        if (root != -1) {
+          return Status::InvalidArgument("reduced query is not connected");
+        }
+        root = v;
+      } else {
+        children[reduced_.parent_var[v]].push_back(v);
+      }
+    }
+    TREEQ_CHECK(root != -1);
+    dfs_order_.clear();
+    std::vector<int> stack = {root};
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      dfs_order_.push_back(v);
+      for (auto it = children[v].rbegin(); it != children[v].rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+
+    theta_.assign(k, kNullNode);
+    results_.clear();
+    limit_ = limit;
+    EnumerateSatisfactions(0);
+    return std::move(results_);
+  }
+
+ private:
+  // Figure 6's enumerate_satisfactions(i).
+  void EnumerateSatisfactions(int i) {
+    if (results_.size() >= limit_) return;
+    const int var = dfs_order_[i];
+    const int parent = reduced_.parent_var[var];
+    for (NodeId v = 0;
+         v < static_cast<NodeId>(reduced_.candidates[var].universe()); ++v) {
+      if (!reduced_.candidates[var].Contains(v)) continue;
+      if (i != 0 &&
+          !AxisHolds(tree_, orders_, reduced_.parent_axis[var],
+                     theta_[parent], v)) {
+        continue;
+      }
+      theta_[var] = v;
+      if (i == static_cast<int>(dfs_order_.size()) - 1) {
+        results_.push_back(theta_);
+        if (results_.size() >= limit_) return;
+      } else {
+        EnumerateSatisfactions(i + 1);
+      }
+    }
+  }
+
+  const ConjunctiveQuery& query_;
+  const Tree& tree_;
+  const TreeOrders& orders_;
+  const ReducedQuery& reduced_;
+  std::vector<int> dfs_order_;
+  std::vector<NodeId> theta_;
+  std::vector<std::vector<NodeId>> results_;
+  uint64_t limit_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<std::vector<NodeId>>> EnumerateSolutions(
+    const ConjunctiveQuery& query, const Tree& tree, const TreeOrders& orders,
+    const ReducedQuery& reduced, uint64_t limit) {
+  if (!reduced.satisfiable) {
+    return std::vector<std::vector<NodeId>>{};
+  }
+  if (static_cast<int>(reduced.parent_var.size()) != query.num_vars()) {
+    return Status::InvalidArgument("reduced query does not match the query");
+  }
+  SolutionEnumerator enumerator(query, tree, orders, reduced);
+  return enumerator.Run(limit);
+}
+
+Result<TupleSet> EvaluateAcyclic(const ConjunctiveQuery& query,
+                                 const Tree& tree, const TreeOrders& orders,
+                                 uint64_t limit) {
+  TREEQ_ASSIGN_OR_RETURN(ReducedQuery reduced,
+                         FullReducer(query, tree, orders));
+  if (!reduced.satisfiable) return TupleSet{};
+  TREEQ_ASSIGN_OR_RETURN(
+      std::vector<std::vector<NodeId>> solutions,
+      EnumerateSolutions(query, tree, orders, reduced, limit));
+  TupleSet tuples;
+  tuples.reserve(solutions.size());
+  for (const std::vector<NodeId>& solution : solutions) {
+    std::vector<NodeId> tuple;
+    tuple.reserve(query.head_vars().size());
+    for (int h : query.head_vars()) tuple.push_back(solution[h]);
+    tuples.push_back(std::move(tuple));
+  }
+  CanonicalizeTuples(&tuples);
+  return tuples;
+}
+
+}  // namespace cq
+}  // namespace treeq

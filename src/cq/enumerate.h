@@ -1,0 +1,39 @@
+#ifndef TREEQ_CQ_ENUMERATE_H_
+#define TREEQ_CQ_ENUMERATE_H_
+
+#include <cstdint>
+
+#include "cq/ast.h"
+#include "cq/yannakakis.h"
+#include "tree/orders.h"
+#include "util/status.h"
+
+/// \file enumerate.h
+/// Backtracking-free enumeration of all solutions of an acyclic conjunctive
+/// query from a fully reduced (globally consistent) pre-valuation —
+/// Figure 6 and Propositions 6.9/6.10. Because every candidate value
+/// participates in a solution, the recursion of Figure 6 never dead-ends:
+/// each partial assignment passing the parent-edge check completes to at
+/// least one output.
+
+namespace treeq {
+namespace cq {
+
+/// Enumerates complete satisfying valuations (one entry per query variable)
+/// in the variable order of Figure 6 (pre-order DFS of the query tree).
+/// Stops after `limit` solutions. Input must come from FullReducer on a
+/// satisfiable query (reduced.satisfiable).
+Result<std::vector<std::vector<NodeId>>> EnumerateSolutions(
+    const ConjunctiveQuery& query, const Tree& tree, const TreeOrders& orders,
+    const ReducedQuery& reduced, uint64_t limit = UINT64_MAX);
+
+/// Full k-ary acyclic evaluation (Proposition 6.10 without the pointer
+/// refinement): FullReducer + enumeration + head projection, deduplicated.
+Result<TupleSet> EvaluateAcyclic(const ConjunctiveQuery& query,
+                                 const Tree& tree, const TreeOrders& orders,
+                                 uint64_t limit = UINT64_MAX);
+
+}  // namespace cq
+}  // namespace treeq
+
+#endif  // TREEQ_CQ_ENUMERATE_H_

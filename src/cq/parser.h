@@ -1,0 +1,26 @@
+#ifndef TREEQ_CQ_PARSER_H_
+#define TREEQ_CQ_PARSER_H_
+
+#include <string_view>
+
+#include "cq/ast.h"
+#include "util/status.h"
+
+/// \file parser.h
+/// Rule-notation syntax for conjunctive queries:
+///
+///   Q(x, z) :- Child+(x, y), NextSibling(y, z), Lab_a(y), Label("b", z).
+///   Q()     :- Following(x, y), Lab_a(x), Lab_a(y).     % Boolean
+///
+/// Axis names are those of ParseAxis; Lab_<name>(v) and Label("<any>", v)
+/// are label atoms; `%`/`#` start comments.
+
+namespace treeq {
+namespace cq {
+
+Result<ConjunctiveQuery> ParseCq(std::string_view input);
+
+}  // namespace cq
+}  // namespace treeq
+
+#endif  // TREEQ_CQ_PARSER_H_

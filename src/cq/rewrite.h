@@ -1,0 +1,80 @@
+#ifndef TREEQ_CQ_REWRITE_H_
+#define TREEQ_CQ_REWRITE_H_
+
+#include <optional>
+#include <vector>
+
+#include "cq/ast.h"
+#include "util/status.h"
+
+/// \file rewrite.h
+/// Theorem 5.1 ([62, 8, 35]): every conjunctive query over trees is
+/// equivalent to a union of *acyclic* positive queries, computable in
+/// exponential time. The proof's algorithm is implemented faithfully:
+///
+///  1. eliminate Following via NextSibling+ over ancestors (Section 2),
+///  2. enumerate the order types psi of the variables (weak orders: the
+///     disjuncts of the <pre trichotomy CNF),
+///  3. per psi: merge equated variables, strengthen R* to R+, drop
+///     redundant R+ next to R, and
+///  4. repeatedly resolve sibling in-edges R(x,z), S(y,z) via **Table 1**
+///     (the satisfiability of R(x,z) ∧ S(y,z) ∧ x <pre y), replacing
+///     R(x,z) by R(x,y) in the satisfiable cases,
+///  5. drop the <pre atoms; each survivor is acyclic (every variable has at
+///     most one incoming axis atom).
+///
+/// The union of the outputs is equivalent to the input. The blow-up is
+/// inherently exponential in general ([35]); the special case
+/// CQ[{Child, NextSibling}] rewrites deterministically (no order-type
+/// enumeration) — RewriteChildNextSibling, implicit in [31].
+
+namespace treeq {
+namespace cq {
+
+/// The four axis families of Table 1.
+enum class RewriteAxis {
+  kChild,            // Child
+  kChildPlus,        // Child+
+  kNextSibling,      // NextSibling
+  kNextSiblingPlus,  // NextSibling+
+};
+
+/// Table 1: is R(x, z) ∧ S(y, z) ∧ x <pre y satisfiable over trees?
+bool Table1Satisfiable(RewriteAxis r, RewriteAxis s);
+
+/// Output of the Theorem 5.1 rewriting.
+struct RewriteOutput {
+  /// The equivalent union (may be empty: the input is unsatisfiable on all
+  /// trees). Each query is acyclic; head arity is preserved.
+  std::vector<ConjunctiveQuery> queries;
+  /// Number of order types psi enumerated (the exponential factor).
+  int order_types_considered = 0;
+};
+
+/// Rewrites `query` (axes: Child, Child+, Child*, NextSibling,
+/// NextSibling+, NextSibling*, Following, Self, and their inverses) into an
+/// equivalent union of acyclic queries. Unsupported for other axes.
+Result<RewriteOutput> RewriteToAcyclicUnion(const ConjunctiveQuery& query);
+
+/// The lazy order-refinement variant in the spirit of [35]: instead of
+/// enumerating every weak order of the variables up front, it keeps a
+/// partial order and branches only when a Table 1 resolution actually needs
+/// to know how two variables relate (merging, x <pre y, or y <pre x); R*
+/// atoms are split into "=" and "+" readings only when they collide.
+/// `order_types_considered` counts the leaf states explored — compare with
+/// the eager variant's ordered Bell numbers. Semantically equivalent to
+/// RewriteToAcyclicUnion (rewrite_test checks both against the oracle). The
+/// outputs may contain Child*/NextSibling* atoms (they are only
+/// strengthened on demand), which is fine for acyclic *positive* queries.
+Result<RewriteOutput> RewriteToAcyclicUnionLazy(const ConjunctiveQuery& query);
+
+/// Linear special case for CQ[{Child, NextSibling, Self}] (and inverses):
+/// returns the single equivalent acyclic query, or nullopt when the input
+/// is unsatisfiable over all trees.
+Result<std::optional<ConjunctiveQuery>> RewriteChildNextSibling(
+    const ConjunctiveQuery& query);
+
+}  // namespace cq
+}  // namespace treeq
+
+#endif  // TREEQ_CQ_REWRITE_H_

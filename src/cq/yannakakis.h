@@ -1,0 +1,68 @@
+#ifndef TREEQ_CQ_YANNAKAKIS_H_
+#define TREEQ_CQ_YANNAKAKIS_H_
+
+#include "cq/arc_consistency.h"
+#include "cq/ast.h"
+#include "tree/orders.h"
+#include "util/status.h"
+
+/// \file yannakakis.h
+/// Yannakakis' algorithm for acyclic conjunctive queries ([77], Section 4),
+/// specialized to trees: for a tree-shaped query the join tree is the query
+/// tree itself, and every semijoin against an axis relation is an O(n) axis
+/// set-image — which is how the unary conjunctive Core XPath queries run in
+/// O(||A|| * |Q|) (Proposition 4.2) without ever materializing quadratic
+/// axis relations.
+///
+/// FullReducer performs the bottom-up + top-down semijoin passes. Its
+/// output candidate sets are globally consistent: every candidate value
+/// participates in at least one solution (the full-reducer property restated
+/// as Proposition 6.9). enumerate.h reads solutions out of them.
+
+namespace treeq {
+namespace cq {
+
+/// A fully reduced query: per-variable candidate sets in which every value
+/// extends to a solution. `satisfiable` is false iff some set is empty.
+struct ReducedQuery {
+  bool satisfiable = false;
+  PreValuation candidates;
+  /// The query tree used: parent variable of each variable (-1 at the
+  /// root), in the rooting chosen by the reducer.
+  std::vector<int> parent_var;
+  /// The axis relating parent_var[v] to v, oriented parent -> v.
+  std::vector<Axis> parent_axis;
+};
+
+/// Runs the full reducer. Requires query.IsTreeShaped() (see
+/// ConjunctiveQuery::IsTreeShaped; parallel edges would need relation-level
+/// — not set-level — reduction and are rejected). `root_var` selects the
+/// rooting; pass -1 for variable 0, or a head variable so unary results can
+/// be read from the root's candidate set.
+Result<ReducedQuery> FullReducer(const ConjunctiveQuery& query,
+                                 const Tree& tree, const TreeOrders& orders,
+                                 int root_var = -1);
+
+/// Boolean acyclic evaluation in O(||A|| * |Q|) (Theorem 4.1's tree case).
+Result<bool> EvaluateBooleanAcyclic(const ConjunctiveQuery& query,
+                                    const Tree& tree,
+                                    const TreeOrders& orders);
+
+/// Unary acyclic evaluation in O(||A|| * |Q|) (Proposition 4.2): the head
+/// variable's fully-reduced candidate set.
+Result<NodeSet> EvaluateUnaryAcyclic(const ConjunctiveQuery& query,
+                                     const Tree& tree,
+                                     const TreeOrders& orders);
+
+/// Boolean evaluation of forest-shaped queries (each connected component
+/// tree-shaped; components may be disconnected): satisfiable iff every
+/// component is. This is what the Theorem 5.1 rewriting outputs feed into
+/// (Corollary 5.2's linear-time positive-FO pipeline).
+Result<bool> EvaluateBooleanAcyclicForest(const ConjunctiveQuery& query,
+                                          const Tree& tree,
+                                          const TreeOrders& orders);
+
+}  // namespace cq
+}  // namespace treeq
+
+#endif  // TREEQ_CQ_YANNAKAKIS_H_

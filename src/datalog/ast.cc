@@ -1,0 +1,186 @@
+#include "datalog/ast.h"
+
+#include <set>
+
+namespace treeq {
+namespace datalog {
+
+const char* UnaryBuiltinName(UnaryBuiltin b) {
+  switch (b) {
+    case UnaryBuiltin::kRoot:
+      return "Root";
+    case UnaryBuiltin::kLeaf:
+      return "Leaf";
+    case UnaryBuiltin::kFirstSibling:
+      return "FirstSibling";
+    case UnaryBuiltin::kLastSibling:
+      return "LastSibling";
+    case UnaryBuiltin::kDom:
+      return "Dom";
+  }
+  return "";
+}
+
+Atom Atom::MakeUnaryBuiltin(UnaryBuiltin b, int var) {
+  Atom a;
+  a.kind = Kind::kUnaryBuiltin;
+  a.unary = b;
+  a.var0 = var;
+  return a;
+}
+
+Atom Atom::MakeLabel(std::string label, int var) {
+  Atom a;
+  a.kind = Kind::kLabel;
+  a.label = std::move(label);
+  a.var0 = var;
+  return a;
+}
+
+Atom Atom::MakeAxis(Axis axis, int var0, int var1) {
+  Atom a;
+  a.kind = Kind::kAxis;
+  a.axis = axis;
+  a.var0 = var0;
+  a.var1 = var1;
+  return a;
+}
+
+Atom Atom::MakeIntensional(std::string predicate, int var) {
+  Atom a;
+  a.kind = Kind::kIntensional;
+  a.predicate = std::move(predicate);
+  a.var0 = var;
+  return a;
+}
+
+std::vector<std::string> Program::IntensionalPredicates() const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  auto add = [&](const std::string& p) {
+    if (seen.insert(p).second) out.push_back(p);
+  };
+  for (const Rule& rule : rules_) {
+    add(rule.head_pred);
+    for (const Atom& atom : rule.body) {
+      if (atom.kind == Atom::Kind::kIntensional) add(atom.predicate);
+    }
+  }
+  return out;
+}
+
+Status Program::Validate(bool allow_negation) const {
+  if (rules_.empty()) return Status::InvalidArgument("program has no rules");
+  std::set<std::string> defined;
+  for (const Rule& rule : rules_) defined.insert(rule.head_pred);
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& rule = rules_[i];
+    std::string where = "rule " + std::to_string(i) + " (" +
+                        RuleToString(rule) + "): ";
+    if (rule.head_pred.empty()) {
+      return Status::InvalidArgument(where + "empty head predicate");
+    }
+    if (rule.head_var < 0 || rule.head_var >= rule.num_vars()) {
+      return Status::InvalidArgument(where + "head variable out of range");
+    }
+    std::vector<char> used(rule.var_names.size(), 0);
+    for (const Atom& atom : rule.body) {
+      if (atom.var0 < 0 || atom.var0 >= rule.num_vars() ||
+          (atom.kind == Atom::Kind::kAxis &&
+           (atom.var1 < 0 || atom.var1 >= rule.num_vars()))) {
+        return Status::InvalidArgument(where + "atom variable out of range");
+      }
+      used[atom.var0] = 1;
+      if (atom.kind == Atom::Kind::kAxis) used[atom.var1] = 1;
+      if (atom.kind == Atom::Kind::kIntensional &&
+          !defined.count(atom.predicate)) {
+        return Status::InvalidArgument(where + "undefined predicate " +
+                                       atom.predicate);
+      }
+      if (atom.negated &&
+          (!allow_negation || atom.kind != Atom::Kind::kIntensional)) {
+        return Status::InvalidArgument(
+            where + "negation is only allowed on intensional atoms in "
+                    "stratified programs");
+      }
+    }
+    if (!rule.body.empty() && !used[rule.head_var]) {
+      return Status::InvalidArgument(where + "head variable not in body");
+    }
+    // Every variable must occur in some atom (no free-floating domain vars
+    // beyond the head of a bodyless rule).
+    for (int v = 0; v < rule.num_vars(); ++v) {
+      if (!used[v] && !(rule.body.empty() && v == rule.head_var)) {
+        return Status::InvalidArgument(where + "unused variable " +
+                                       rule.var_names[v]);
+      }
+    }
+  }
+  if (query_predicate_.empty()) {
+    return Status::InvalidArgument("no query predicate set (use '?- P.')");
+  }
+  if (!defined.count(query_predicate_)) {
+    return Status::InvalidArgument("query predicate " + query_predicate_ +
+                                   " has no rules");
+  }
+  return Status::OK();
+}
+
+int Program::SizeInAtoms() const {
+  int size = 0;
+  for (const Rule& rule : rules_) {
+    size += 1 + static_cast<int>(rule.body.size());
+  }
+  return size;
+}
+
+std::string AtomToString(const Atom& atom, const Rule& rule) {
+  if (atom.negated) {
+    Atom positive = atom;
+    positive.negated = false;
+    return "not " + AtomToString(positive, rule);
+  }
+  switch (atom.kind) {
+    case Atom::Kind::kUnaryBuiltin:
+      return std::string(UnaryBuiltinName(atom.unary)) + "(" +
+             rule.var_names[atom.var0] + ")";
+    case Atom::Kind::kLabel:
+      return "Label(\"" + atom.label + "\", " + rule.var_names[atom.var0] +
+             ")";
+    case Atom::Kind::kAxis: {
+      std::string name = AxisName(atom.axis);
+      return name + "(" + rule.var_names[atom.var0] + ", " +
+             rule.var_names[atom.var1] + ")";
+    }
+    case Atom::Kind::kIntensional:
+      return atom.predicate + "(" + rule.var_names[atom.var0] + ")";
+  }
+  return "";
+}
+
+std::string RuleToString(const Rule& rule) {
+  std::string out =
+      rule.head_pred + "(" + rule.var_names[rule.head_var] + ") :- ";
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += AtomToString(rule.body[i], rule);
+  }
+  if (rule.body.empty()) out += "true";
+  out += ".";
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& rule : rules_) {
+    out += RuleToString(rule);
+    out += "\n";
+  }
+  if (!query_predicate_.empty()) {
+    out += "?- " + query_predicate_ + ".\n";
+  }
+  return out;
+}
+
+}  // namespace datalog
+}  // namespace treeq

@@ -1,0 +1,111 @@
+#ifndef TREEQ_DATALOG_AST_H_
+#define TREEQ_DATALOG_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "tree/axes.h"
+#include "tree/tree.h"
+#include "util/status.h"
+
+/// \file ast.h
+/// Monadic datalog over trees (Section 3). Programs run over the signature
+/// tau+ = <Dom, Root, Leaf, (Lab_a), FirstChild, NextSibling, LastSibling>
+/// (FirstSibling is also provided), extended with the derived axes Child,
+/// Child+, Child*, NextSibling+, NextSibling*, Following and inverses in
+/// rule bodies — the TMNF transformation compiles those away (Section 3 /
+/// [31]).
+
+namespace treeq {
+namespace datalog {
+
+/// The unary predicates of tau+ other than labels. kDom (the whole domain)
+/// lets fact rules "P(x)." be expressed in TMNF as P(x) <- Dom(x).
+enum class UnaryBuiltin {
+  kRoot,
+  kLeaf,
+  kFirstSibling,
+  kLastSibling,
+  kDom,
+};
+
+const char* UnaryBuiltinName(UnaryBuiltin b);
+
+/// One body atom. Variables are rule-local indices into Rule::var_names.
+struct Atom {
+  enum class Kind {
+    kUnaryBuiltin,  // Root(x), Leaf(x), FirstSibling(x), LastSibling(x)
+    kLabel,         // Lab_a(x)
+    kAxis,          // Axis(x, y) for any axis in tree/axes.h
+    kIntensional,   // P(x) with P an intensional (unary) predicate
+  };
+
+  Kind kind;
+  UnaryBuiltin unary = UnaryBuiltin::kRoot;  // kUnaryBuiltin
+  std::string label;                         // kLabel
+  Axis axis = Axis::kSelf;                   // kAxis
+  std::string predicate;                     // kIntensional
+  int var0 = -1;
+  int var1 = -1;  // only for kAxis
+  /// Negation-as-failure marker, allowed on intensional atoms only and only
+  /// in stratified programs (datalog/stratified.h); plain monadic datalog
+  /// cannot express negation (Section 3) and Validate() rejects it by
+  /// default.
+  bool negated = false;
+
+  bool IsUnary() const { return kind != Kind::kAxis; }
+
+  static Atom MakeUnaryBuiltin(UnaryBuiltin b, int var);
+  static Atom MakeLabel(std::string label, int var);
+  static Atom MakeAxis(Axis axis, int var0, int var1);
+  static Atom MakeIntensional(std::string predicate, int var);
+};
+
+/// One rule: head(head_var) <- body. All intensional predicates are unary
+/// (monadic datalog).
+struct Rule {
+  std::string head_pred;
+  int head_var = -1;
+  std::vector<Atom> body;
+  std::vector<std::string> var_names;
+
+  int num_vars() const { return static_cast<int>(var_names.size()); }
+};
+
+/// A monadic datalog program with one distinguished query predicate.
+class Program {
+ public:
+  std::vector<Rule>& rules() { return rules_; }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  const std::string& query_predicate() const { return query_predicate_; }
+  void set_query_predicate(std::string p) { query_predicate_ = std::move(p); }
+
+  /// All intensional predicate names, in first-occurrence order.
+  std::vector<std::string> IntensionalPredicates() const;
+
+  /// Structural sanity: nonempty, every rule's head variable occurs in its
+  /// body (or the rule has no body atoms over other variables), variable
+  /// indices in range, query predicate defined. Negated atoms are rejected
+  /// unless `allow_negation` (the stratified evaluator's mode).
+  Status Validate(bool allow_negation = false) const;
+
+  /// Total number of atoms (the |P| of Theorem 3.2, up to a constant).
+  int SizeInAtoms() const;
+
+  /// Round-trippable text rendering in the parser's syntax.
+  std::string ToString() const;
+
+ private:
+  std::vector<Rule> rules_;
+  std::string query_predicate_;
+};
+
+/// Renders one atom/rule in the parser's concrete syntax.
+std::string AtomToString(const Atom& atom, const Rule& rule);
+std::string RuleToString(const Rule& rule);
+
+}  // namespace datalog
+}  // namespace treeq
+
+#endif  // TREEQ_DATALOG_AST_H_

@@ -1,0 +1,135 @@
+#include "datalog/grounder.h"
+
+#include "datalog/tmnf.h"
+
+namespace treeq {
+namespace datalog {
+
+horn::PredId GroundProgram::PropositionOf(const std::string& pred,
+                                          NodeId node) const {
+  auto it = pred_base.find(pred);
+  TREEQ_CHECK(it != pred_base.end());
+  TREEQ_CHECK(node >= 0 && node < num_nodes);
+  return it->second + node;
+}
+
+bool EvalUnaryExtensional(const Atom& atom, const Tree& tree, NodeId node) {
+  switch (atom.kind) {
+    case Atom::Kind::kUnaryBuiltin:
+      switch (atom.unary) {
+        case UnaryBuiltin::kRoot:
+          return tree.IsRoot(node);
+        case UnaryBuiltin::kLeaf:
+          return tree.IsLeaf(node);
+        case UnaryBuiltin::kFirstSibling:
+          return tree.IsFirstSibling(node);
+        case UnaryBuiltin::kLastSibling:
+          return tree.IsLastSibling(node);
+        case UnaryBuiltin::kDom:
+          return true;
+      }
+      TREEQ_CHECK(false);
+      return false;
+    case Atom::Kind::kLabel:
+      return tree.HasLabel(node, atom.label);
+    default:
+      TREEQ_CHECK(false);
+      return false;
+  }
+}
+
+namespace {
+
+/// The unique x0 with B(x0, x) for the four TMNF step relations, or
+/// kNullNode. (FirstChild and NextSibling are injective partial functions in
+/// both directions — the functional dependencies Theorem 3.2 rests on.)
+NodeId StepPartner(const Tree& tree, Axis b, NodeId x) {
+  switch (b) {
+    case Axis::kFirstChild:
+      // FirstChild(x0, x): x is the first child of x0.
+      return tree.IsFirstSibling(x) ? tree.parent(x) : kNullNode;
+    case Axis::kFirstChildInv:
+      // FirstChildInv(x0, x): x0 is the first child of x.
+      return tree.first_child(x);
+    case Axis::kNextSibling:
+      // NextSibling(x0, x): x0 is x's previous sibling.
+      return tree.prev_sibling(x);
+    case Axis::kPrevSibling:
+      // PrevSibling(x0, x): x0 is x's next sibling.
+      return tree.next_sibling(x);
+    default:
+      TREEQ_CHECK(false);
+      return kNullNode;
+  }
+}
+
+}  // namespace
+
+Result<GroundProgram> GroundTmnf(const Program& program, const Tree& tree) {
+  if (!IsTmnf(program)) {
+    return Status::InvalidArgument("GroundTmnf requires a TMNF program");
+  }
+  GroundProgram ground;
+  ground.num_nodes = tree.num_nodes();
+  const int n = tree.num_nodes();
+  for (const std::string& pred : program.IntensionalPredicates()) {
+    ground.pred_base[pred] = ground.horn.AddPredicates(n);
+  }
+
+  // Appends clause head <- unary-atom-at-node, resolving extensional atoms
+  // to facts/omissions.
+  auto ground_rule_at = [&](const Rule& rule, NodeId head_node,
+                            const std::vector<std::pair<const Atom*, NodeId>>&
+                                body) {
+    std::vector<horn::PredId> clause_body;
+    for (const auto& [atom, node] : body) {
+      if (atom->kind == Atom::Kind::kIntensional) {
+        clause_body.push_back(ground.PropositionOf(atom->predicate, node));
+      } else {
+        if (!EvalUnaryExtensional(*atom, tree, node)) return;  // no clause
+      }
+    }
+    ground.horn.AddClause(ground.PropositionOf(rule.head_pred, head_node),
+                          std::move(clause_body));
+  };
+
+  for (const Rule& rule : program.rules()) {
+    const std::vector<Atom>& body = rule.body;
+    if (body.size() == 1) {
+      // Form (1): p(x) <- p0(x).
+      for (NodeId v = 0; v < n; ++v) {
+        ground_rule_at(rule, v, {{&body[0], v}});
+      }
+      continue;
+    }
+    const Atom* binary = nullptr;
+    const Atom* unary = nullptr;
+    for (const Atom& a : body) {
+      if (a.IsUnary() && unary == nullptr) {
+        unary = &a;
+      } else if (!a.IsUnary()) {
+        binary = &a;
+      }
+    }
+    if (binary == nullptr) {
+      // Form (3): p(x) <- p0(x), p1(x).
+      for (NodeId v = 0; v < n; ++v) {
+        ground_rule_at(rule, v, {{&body[0], v}, {&body[1], v}});
+      }
+      continue;
+    }
+    // Form (2): p(x) <- p0(x0), B(x0, x) — or the equivalent orientation
+    // p(x) <- p0(x0), B'(x, x0) with B' the inverse step relation.
+    Axis axis = binary->var1 == rule.head_var ? binary->axis
+                                              : InverseAxis(binary->axis);
+    for (NodeId v = 0; v < n; ++v) {
+      NodeId x0 = StepPartner(tree, axis, v);
+      if (x0 == kNullNode) continue;
+      ground_rule_at(rule, v, {{unary, x0}});
+    }
+  }
+  return ground;
+}
+
+}  // namespace datalog
+}  // namespace treeq

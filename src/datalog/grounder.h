@@ -1,0 +1,41 @@
+#ifndef TREEQ_DATALOG_GROUNDER_H_
+#define TREEQ_DATALOG_GROUNDER_H_
+
+#include <map>
+#include <string>
+
+#include "datalog/ast.h"
+#include "datalog/horn.h"
+#include "tree/tree.h"
+#include "util/status.h"
+
+/// \file grounder.h
+/// Grounding TMNF programs over a tree into propositional Horn clauses in
+/// time O(|P| * |Dom|) (Theorem 3.2, Example 3.3). This is where the
+/// bidirectional functional dependencies of tau+ pay off: in a form-(2) rule
+/// p(x) <- p0(x0), B(x0, x), the partner x0 of any x is unique, so each rule
+/// grounds to at most one clause per node.
+
+namespace treeq {
+namespace datalog {
+
+/// A grounded TMNF program: a Horn instance whose propositional predicate
+/// for (intensional pred P, node v) is pred_base[P] + v.
+struct GroundProgram {
+  horn::HornInstance horn;
+  std::map<std::string, horn::PredId> pred_base;
+  int num_nodes = 0;
+
+  horn::PredId PropositionOf(const std::string& pred, NodeId node) const;
+};
+
+/// Grounds `program` (which must be in TMNF) over `tree`.
+Result<GroundProgram> GroundTmnf(const Program& program, const Tree& tree);
+
+/// Evaluates a tau+ unary builtin / label atom at a node.
+bool EvalUnaryExtensional(const Atom& atom, const Tree& tree, NodeId node);
+
+}  // namespace datalog
+}  // namespace treeq
+
+#endif  // TREEQ_DATALOG_GROUNDER_H_

@@ -1,0 +1,64 @@
+#include "datalog/horn.h"
+
+#include <deque>
+
+namespace treeq {
+namespace horn {
+
+PredId HornInstance::AddPredicates(int count) {
+  TREEQ_CHECK(count >= 0);
+  PredId first = num_predicates_;
+  num_predicates_ += count;
+  return first;
+}
+
+void HornInstance::AddClause(PredId head, std::vector<PredId> body) {
+  TREEQ_CHECK(head >= 0 && head < num_predicates_);
+  for (PredId p : body) TREEQ_CHECK(p >= 0 && p < num_predicates_);
+  clauses_.push_back(Clause{head, std::move(body)});
+}
+
+int64_t HornInstance::SizeInLiterals() const {
+  int64_t size = 0;
+  for (const Clause& c : clauses_) {
+    size += 1 + static_cast<int64_t>(c.body.size());
+  }
+  return size;
+}
+
+std::vector<char> HornInstance::Solve(
+    std::vector<PredId>* derivation_order) const {
+  const int num_rules = static_cast<int>(clauses_.size());
+  // Initialization of data structures (Figure 3): rules[p] lists the rules
+  // whose body mentions p, size[i] counts i's not-yet-derived body atoms,
+  // head[i] is i's head.
+  std::vector<std::vector<int>> rules(num_predicates_);
+  std::vector<int> size(num_rules);
+  std::vector<PredId> head(num_rules);
+  std::deque<PredId> queue;
+  std::vector<char> truth(num_predicates_, 0);
+
+  for (int i = 0; i < num_rules; ++i) {
+    const Clause& c = clauses_[i];
+    head[i] = c.head;
+    size[i] = static_cast<int>(c.body.size());
+    for (PredId p : c.body) rules[p].push_back(i);
+    if (size[i] == 0) queue.push_back(c.head);
+  }
+
+  // Main loop.
+  while (!queue.empty()) {
+    PredId p = queue.front();
+    queue.pop_front();
+    if (truth[p]) continue;  // a predicate may be enqueued more than once
+    truth[p] = 1;            // output "p is true"
+    if (derivation_order != nullptr) derivation_order->push_back(p);
+    for (int i : rules[p]) {
+      if (--size[i] == 0) queue.push_back(head[i]);
+    }
+  }
+  return truth;
+}
+
+}  // namespace horn
+}  // namespace treeq

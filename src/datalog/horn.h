@@ -1,0 +1,58 @@
+#ifndef TREEQ_DATALOG_HORN_H_
+#define TREEQ_DATALOG_HORN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file horn.h
+/// Propositional Horn-SAT solved in linear time by Minoux' algorithm [59],
+/// exactly as listed in Figure 3 of the paper: per-rule remaining-body-size
+/// counters, a rules-watching-each-predicate index, and a queue of derived
+/// unit predicates.
+
+namespace treeq {
+namespace horn {
+
+/// Propositional predicate id (dense, starting at 0).
+using PredId = int32_t;
+
+/// A definite Horn clause: head <- body[0] & ... & body[k-1].
+/// An empty body makes the clause a fact.
+struct Clause {
+  PredId head;
+  std::vector<PredId> body;
+};
+
+/// A Horn-SAT instance builder + solver.
+class HornInstance {
+ public:
+  /// Creates `count` fresh predicates; returns the first id.
+  PredId AddPredicates(int count);
+  int num_predicates() const { return num_predicates_; }
+
+  /// Adds head <- body. All ids must be valid.
+  void AddClause(PredId head, std::vector<PredId> body);
+  void AddFact(PredId head) { AddClause(head, {}); }
+
+  int num_clauses() const { return static_cast<int>(clauses_.size()); }
+  /// Total number of literals (the instance size Minoux' algorithm is linear
+  /// in).
+  int64_t SizeInLiterals() const;
+
+  /// Minoux' algorithm (Figure 3): returns the minimal model as a truth
+  /// vector indexed by predicate id, in time linear in SizeInLiterals().
+  /// `derivation_order`, if non-null, receives the predicates in the order
+  /// the main loop outputs "p is true".
+  std::vector<char> Solve(std::vector<PredId>* derivation_order = nullptr) const;
+
+ private:
+  int num_predicates_ = 0;
+  std::vector<Clause> clauses_;
+};
+
+}  // namespace horn
+}  // namespace treeq
+
+#endif  // TREEQ_DATALOG_HORN_H_

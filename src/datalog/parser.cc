@@ -1,0 +1,215 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <map>
+#include <string>
+
+namespace treeq {
+namespace datalog {
+namespace {
+
+class ProgramParser {
+ public:
+  explicit ProgramParser(std::string_view input) : input_(input) {}
+
+  Result<Program> Parse() {
+    Program program;
+    for (;;) {
+      SkipWhitespaceAndComments();
+      if (Eof()) break;
+      if (input_.substr(pos_).starts_with("?-")) {
+        pos_ += 2;
+        SkipWhitespaceAndComments();
+        TREEQ_ASSIGN_OR_RETURN(std::string pred, ParseName());
+        TREEQ_RETURN_IF_ERROR(Expect('.'));
+        program.set_query_predicate(pred);
+        continue;
+      }
+      TREEQ_ASSIGN_OR_RETURN(Rule rule, ParseRule());
+      program.rules().push_back(std::move(rule));
+    }
+    // Negated atoms are accepted here; the plain evaluator rejects them
+    // later, while the stratified evaluator handles them.
+    TREEQ_RETURN_IF_ERROR(program.Validate(/*allow_negation=*/true));
+    return program;
+  }
+
+ private:
+  bool Eof() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+      if (!Eof() && (Peek() == '%' || Peek() == '#')) {
+        while (!Eof() && Peek() != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  Status Expect(char c) {
+    SkipWhitespaceAndComments();
+    if (Eof() || Peek() != c) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '+' || c == '*' || c == '-';
+  }
+
+  Result<std::string> ParseName() {
+    SkipWhitespaceAndComments();
+    size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) ++pos_;
+    if (pos_ == start) return Error("expected a name");
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseQuotedString() {
+    SkipWhitespaceAndComments();
+    if (Eof() || Peek() != '"') return Error("expected '\"'");
+    ++pos_;
+    size_t start = pos_;
+    while (!Eof() && Peek() != '"') ++pos_;
+    if (Eof()) return Error("unterminated string");
+    std::string s(input_.substr(start, pos_ - start));
+    ++pos_;
+    return s;
+  }
+
+  // Variable interning within the current rule.
+  int InternVar(Rule* rule, std::map<std::string, int>* vars,
+                const std::string& name) {
+    auto it = vars->find(name);
+    if (it != vars->end()) return it->second;
+    int id = rule->num_vars();
+    rule->var_names.push_back(name);
+    (*vars)[name] = id;
+    return id;
+  }
+
+  Result<Rule> ParseRule() {
+    Rule rule;
+    std::map<std::string, int> vars;
+    TREEQ_ASSIGN_OR_RETURN(std::string head, ParseName());
+    TREEQ_RETURN_IF_ERROR(Expect('('));
+    TREEQ_ASSIGN_OR_RETURN(std::string head_var, ParseName());
+    TREEQ_RETURN_IF_ERROR(Expect(')'));
+    rule.head_pred = head;
+    rule.head_var = InternVar(&rule, &vars, head_var);
+
+    SkipWhitespaceAndComments();
+    if (!Eof() && Peek() == '.') {
+      ++pos_;
+      return rule;  // fact rule "P(x)." == "P(x) :- true."
+    }
+    if (input_.substr(pos_).starts_with(":-")) {
+      pos_ += 2;
+    } else if (input_.substr(pos_).starts_with("<-")) {
+      pos_ += 2;
+    } else {
+      return Error("expected ':-' or '<-'");
+    }
+
+    for (;;) {
+      SkipWhitespaceAndComments();
+      TREEQ_ASSIGN_OR_RETURN(std::string name, ParseName());
+      bool negated = false;
+      if (name == "not") {
+        negated = true;  // stratified-program negation (datalog/stratified.h)
+        TREEQ_ASSIGN_OR_RETURN(name, ParseName());
+      }
+      if (name == "true") {
+        if (negated) return Error("'not true' is not an atom");
+        // empty body marker; no atom
+      } else {
+        TREEQ_RETURN_IF_ERROR(Expect('('));
+        TREEQ_RETURN_IF_ERROR(ParseAtomTail(name, &rule, &vars));
+        rule.body.back().negated = negated;
+      }
+      SkipWhitespaceAndComments();
+      if (!Eof() && Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      TREEQ_RETURN_IF_ERROR(Expect('.'));
+      return rule;
+    }
+  }
+
+  // Parses the argument list and closing paren; `name` is the atom's
+  // predicate name whose kind we dispatch on.
+  Status ParseAtomTail(const std::string& name, Rule* rule,
+                       std::map<std::string, int>* vars) {
+    if (name == "Label") {
+      TREEQ_ASSIGN_OR_RETURN(std::string label, ParseQuotedString());
+      TREEQ_RETURN_IF_ERROR(Expect(','));
+      TREEQ_ASSIGN_OR_RETURN(std::string v, ParseName());
+      TREEQ_RETURN_IF_ERROR(Expect(')'));
+      rule->body.push_back(Atom::MakeLabel(label, InternVar(rule, vars, v)));
+      return Status::OK();
+    }
+    if (name == "Root" || name == "Leaf" || name == "FirstSibling" ||
+        name == "LastSibling" || name == "Dom") {
+      UnaryBuiltin b = UnaryBuiltin::kRoot;
+      if (name == "Leaf") b = UnaryBuiltin::kLeaf;
+      if (name == "FirstSibling") b = UnaryBuiltin::kFirstSibling;
+      if (name == "LastSibling") b = UnaryBuiltin::kLastSibling;
+      if (name == "Dom") b = UnaryBuiltin::kDom;
+      TREEQ_ASSIGN_OR_RETURN(std::string v, ParseName());
+      TREEQ_RETURN_IF_ERROR(Expect(')'));
+      rule->body.push_back(
+          Atom::MakeUnaryBuiltin(b, InternVar(rule, vars, v)));
+      return Status::OK();
+    }
+    if (name.starts_with("Lab_")) {
+      TREEQ_ASSIGN_OR_RETURN(std::string v, ParseName());
+      TREEQ_RETURN_IF_ERROR(Expect(')'));
+      rule->body.push_back(
+          Atom::MakeLabel(name.substr(4), InternVar(rule, vars, v)));
+      return Status::OK();
+    }
+    Result<Axis> axis = ParseAxis(name);
+    if (axis.ok()) {
+      TREEQ_ASSIGN_OR_RETURN(std::string v0, ParseName());
+      TREEQ_RETURN_IF_ERROR(Expect(','));
+      TREEQ_ASSIGN_OR_RETURN(std::string v1, ParseName());
+      TREEQ_RETURN_IF_ERROR(Expect(')'));
+      // Sequenced so variable indices follow first occurrence left-to-right.
+      int i0 = InternVar(rule, vars, v0);
+      int i1 = InternVar(rule, vars, v1);
+      rule->body.push_back(Atom::MakeAxis(axis.value(), i0, i1));
+      return Status::OK();
+    }
+    // Intensional unary predicate.
+    TREEQ_ASSIGN_OR_RETURN(std::string v, ParseName());
+    TREEQ_RETURN_IF_ERROR(Expect(')'));
+    rule->body.push_back(
+        Atom::MakeIntensional(name, InternVar(rule, vars, v)));
+    return Status::OK();
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view input) {
+  return ProgramParser(input).Parse();
+}
+
+}  // namespace datalog
+}  // namespace treeq

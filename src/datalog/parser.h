@@ -1,0 +1,35 @@
+#ifndef TREEQ_DATALOG_PARSER_H_
+#define TREEQ_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+/// \file parser.h
+/// Text syntax for monadic datalog programs, close to the paper's rule
+/// notation:
+///
+///   % an Example 3.1 program
+///   P0(x)  :- Label("L", x).       % also: Lab_L(x)
+///   P0(x0) :- NextSibling(x0, x), P0(x).
+///   P(x0)  :- FirstChild(x0, x), P0(x).
+///   P0(x)  :- P(x).
+///   ?- P.
+///
+/// Atom names: Root/Leaf/FirstSibling/LastSibling (unary builtins); any axis
+/// name accepted by ParseAxis, e.g. Child, Child+, descendant, NextSibling*
+/// (binary); Label("a", x) or Lab_a(x) (label test); anything else is an
+/// intensional unary predicate. `<-` is accepted for `:-`; `true` denotes
+/// the empty body; `%` and `#` start comments.
+
+namespace treeq {
+namespace datalog {
+
+/// Parses a program. The result is validated.
+Result<Program> ParseProgram(std::string_view input);
+
+}  // namespace datalog
+}  // namespace treeq
+
+#endif  // TREEQ_DATALOG_PARSER_H_

@@ -1,0 +1,417 @@
+#include "datalog/tmnf.h"
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace treeq {
+namespace datalog {
+
+namespace {
+
+bool IsTmnfStep(Axis axis) {
+  return axis == Axis::kFirstChild || axis == Axis::kFirstChildInv ||
+         axis == Axis::kNextSibling || axis == Axis::kPrevSibling;
+}
+
+bool IsUnaryAtomAt(const Atom& a, int var) {
+  return a.IsUnary() && a.var0 == var;
+}
+
+}  // namespace
+
+bool IsTmnf(const Program& program) {
+  for (const Rule& rule : program.rules()) {
+    const std::vector<Atom>& body = rule.body;
+    if (body.size() == 1 && IsUnaryAtomAt(body[0], rule.head_var)) {
+      continue;  // form (1)
+    }
+    if (body.size() == 2 && body[0].IsUnary() && body[1].IsUnary() &&
+        body[0].var0 == rule.head_var && body[1].var0 == rule.head_var) {
+      continue;  // form (3)
+    }
+    if (body.size() == 2 && rule.num_vars() == 2) {
+      // form (2), atoms in either order
+      const Atom* unary = nullptr;
+      const Atom* binary = nullptr;
+      for (const Atom& a : body) {
+        if (a.IsUnary()) {
+          unary = &a;
+        } else {
+          binary = &a;
+        }
+      }
+      // B may be written in either orientation (B and B^-1 are both
+      // admissible), so the head variable may sit in either argument.
+      if (unary != nullptr && binary != nullptr && IsTmnfStep(binary->axis) &&
+          binary->var0 != binary->var1 &&
+          (binary->var0 == rule.head_var || binary->var1 == rule.head_var)) {
+        int other = binary->var0 == rule.head_var ? binary->var1
+                                                  : binary->var0;
+        if (unary->var0 == other) continue;
+      }
+    }
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Emits the TMNF gadget rules for the transformation. A "UPred" is a unary
+/// predicate reference usable in forms (1)-(3): an extensional tau+ unary
+/// atom or an intensional predicate, with its variable left open.
+struct UPred {
+  Atom proto;  // var0 filled in at instantiation time
+
+  Atom At(int var) const {
+    Atom a = proto;
+    a.var0 = var;
+    return a;
+  }
+};
+
+class TmnfEmitter {
+ public:
+  explicit TmnfEmitter(Program* out) : out_(out) {}
+
+  UPred Dom() const {
+    UPred p;
+    p.proto = Atom::MakeUnaryBuiltin(UnaryBuiltin::kDom, -1);
+    return p;
+  }
+
+  UPred Intensional(const std::string& name) const {
+    UPred p;
+    p.proto = Atom::MakeIntensional(name, -1);
+    return p;
+  }
+
+  std::string Fresh() { return "__t" + std::to_string(counter_++); }
+
+  // out(x) <- in(x).                                     [form (1)]
+  void EmitCopy(const std::string& out, const UPred& in) {
+    Rule rule;
+    rule.head_pred = out;
+    rule.head_var = 0;
+    rule.var_names = {"x"};
+    rule.body = {in.At(0)};
+    out_->rules().push_back(std::move(rule));
+  }
+
+  // out(x) <- in(x0), B(x0, x).                          [form (2)]
+  void EmitStep(const std::string& out, const UPred& in, Axis b) {
+    TREEQ_CHECK(IsTmnfStep(b));
+    Rule rule;
+    rule.head_pred = out;
+    rule.head_var = 1;
+    rule.var_names = {"x0", "x"};
+    rule.body = {in.At(0), Atom::MakeAxis(b, 0, 1)};
+    out_->rules().push_back(std::move(rule));
+  }
+
+  // out(x) <- a(x), b(x).                                [form (3)]
+  void EmitAnd(const std::string& out, const UPred& a, const UPred& b) {
+    Rule rule;
+    rule.head_pred = out;
+    rule.head_var = 0;
+    rule.var_names = {"x"};
+    rule.body = {a.At(0), b.At(0)};
+    out_->rules().push_back(std::move(rule));
+  }
+
+  /// Emits rules making `out` satisfy: out(x) iff ∃y axis(x, y) ∧ q(y).
+  void EmitExists(Axis axis, const UPred& q, const std::string& out) {
+    switch (axis) {
+      case Axis::kSelf:
+        EmitCopy(out, q);
+        return;
+      case Axis::kFirstChild:
+      case Axis::kFirstChildInv:
+      case Axis::kNextSibling:
+      case Axis::kPrevSibling:
+        // out(x) <- q(y), axis^-1(y, x): axis^-1(y, x) iff axis(x, y).
+        EmitStep(out, q, InverseAxis(axis));
+        return;
+      case Axis::kChild: {
+        // t(y): some sibling of y at-or-right of y satisfies q.
+        std::string t = Fresh();
+        EmitCopy(t, q);
+        // t(y) <- t(z), PrevSibling(z, y): y precedes z, so t flows left.
+        EmitStep(t, Intensional(t), Axis::kPrevSibling);
+        // out(x) <- t(y), FirstChildInv(y, x): y is x's first child.
+        EmitStep(out, Intensional(t), Axis::kFirstChildInv);
+        return;
+      }
+      case Axis::kParent: {
+        // t(y): y is a child of a q-node.
+        std::string t = Fresh();
+        EmitStep(t, q, Axis::kFirstChild);
+        EmitStep(t, Intensional(t), Axis::kNextSibling);
+        EmitCopy(out, Intensional(t));
+        return;
+      }
+      case Axis::kDescendant: {
+        // out(x) iff some child y has q(y) or out(y).
+        std::string m = Fresh();
+        EmitCopy(m, q);
+        EmitCopy(m, Intensional(out));
+        EmitExists(Axis::kChild, Intensional(m), out);
+        return;
+      }
+      case Axis::kAncestor: {
+        std::string m = Fresh();
+        EmitCopy(m, q);
+        EmitCopy(m, Intensional(out));
+        EmitExists(Axis::kParent, Intensional(m), out);
+        return;
+      }
+      case Axis::kDescendantOrSelf:
+        EmitCopy(out, q);
+        EmitExists(Axis::kDescendant, q, out);
+        return;
+      case Axis::kAncestorOrSelf:
+        EmitCopy(out, q);
+        EmitExists(Axis::kAncestor, q, out);
+        return;
+      case Axis::kFollowingSibling: {
+        // out(x) iff q(next(x)) or out(next(x)).
+        std::string m = Fresh();
+        EmitCopy(m, q);
+        EmitCopy(m, Intensional(out));
+        // out(x) <- m(y), PrevSibling(y, x): y is x's next sibling.
+        EmitStep(out, Intensional(m), Axis::kPrevSibling);
+        return;
+      }
+      case Axis::kPrecedingSibling: {
+        std::string m = Fresh();
+        EmitCopy(m, q);
+        EmitCopy(m, Intensional(out));
+        EmitStep(out, Intensional(m), Axis::kNextSibling);
+        return;
+      }
+      case Axis::kFollowingSiblingOrSelf:
+        EmitCopy(out, q);
+        EmitExists(Axis::kFollowingSibling, q, out);
+        return;
+      case Axis::kPrecedingSiblingOrSelf:
+        EmitCopy(out, q);
+        EmitExists(Axis::kPrecedingSibling, q, out);
+        return;
+      case Axis::kFollowing: {
+        // Following(x, y): some ancestor-or-self x0 of x has a following
+        // sibling y0 whose subtree contains y (the paper's definition).
+        std::string a = Fresh();
+        EmitExists(Axis::kDescendantOrSelf, q, a);
+        std::string b = Fresh();
+        EmitExists(Axis::kFollowingSibling, Intensional(a), b);
+        EmitExists(Axis::kAncestorOrSelf, Intensional(b), out);
+        return;
+      }
+      case Axis::kPreceding: {
+        std::string a = Fresh();
+        EmitExists(Axis::kDescendantOrSelf, q, a);
+        std::string b = Fresh();
+        EmitExists(Axis::kPrecedingSibling, Intensional(a), b);
+        EmitExists(Axis::kAncestorOrSelf, Intensional(b), out);
+        return;
+      }
+    }
+    TREEQ_CHECK(false);
+  }
+
+  /// Conjoins a list of UPreds into a single fresh predicate (or returns the
+  /// sole member / Dom if the list is short).
+  UPred Conjoin(std::vector<UPred> parts) {
+    if (parts.empty()) return Dom();
+    if (parts.size() == 1) return parts[0];
+    UPred acc = parts[0];
+    for (size_t i = 1; i < parts.size(); ++i) {
+      std::string fresh = Fresh();
+      EmitAnd(fresh, acc, parts[i]);
+      acc = Intensional(fresh);
+    }
+    return acc;
+  }
+
+ private:
+  Program* out_;
+  int counter_ = 0;
+};
+
+/// Union-find for Self-atom variable unification.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    for (int i = 0; i < n; ++i) parent_[i] = i;
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+Status TransformRule(const Rule& rule, TmnfEmitter* emitter, Program* out) {
+  // 1. Unify variables joined by Self atoms; drop those atoms.
+  UnionFind uf(rule.num_vars());
+  for (const Atom& a : rule.body) {
+    if (a.kind == Atom::Kind::kAxis && a.axis == Axis::kSelf) {
+      uf.Union(a.var0, a.var1);
+    }
+  }
+  auto rep = [&uf](int v) { return uf.Find(v); };
+
+  // 2. Build the variable graph: unary atom lists and binary edges.
+  std::map<int, std::vector<Atom>> unary_at;
+  struct Edge {
+    int to;
+    Axis axis;      // oriented from -> to
+    bool used = false;
+  };
+  std::map<int, std::vector<std::pair<int, Axis>>> edges;  // var -> (nbr, axis from var to nbr)
+  int num_edges = 0;
+  std::map<std::pair<int, int>, int> edge_count;
+  for (const Atom& a : rule.body) {
+    if (a.kind == Atom::Kind::kAxis) {
+      if (a.axis == Axis::kSelf) continue;
+      int u = rep(a.var0);
+      int v = rep(a.var1);
+      if (u == v) {
+        return Status::Unsupported(
+            "TMNF transform: non-Self axis atom over a single variable in " +
+            RuleToString(rule));
+      }
+      edges[u].emplace_back(v, a.axis);
+      edges[v].emplace_back(u, InverseAxis(a.axis));
+      ++num_edges;
+      std::pair<int, int> key = u < v ? std::make_pair(u, v)
+                                      : std::make_pair(v, u);
+      if (++edge_count[key] > 1) {
+        return Status::Unsupported(
+            "TMNF transform: parallel binary atoms between two variables "
+            "in " +
+            RuleToString(rule));
+      }
+    } else {
+      Atom copy = a;
+      copy.var0 = rep(a.var0);
+      unary_at[rep(a.var0)].push_back(copy);
+    }
+  }
+
+  // Collect the distinct representative variables actually used.
+  std::map<int, bool> vars;
+  vars[rep(rule.head_var)] = true;
+  for (const auto& [v, _] : unary_at) vars[v] = true;
+  for (const auto& [v, _] : edges) vars[v] = true;
+  const int num_vars = static_cast<int>(vars.size());
+
+  // 3. Connectivity + acyclicity: a connected simple graph on k vertices is
+  // a tree iff it has k-1 edges; connectivity is checked by the traversal
+  // below reaching every vertex.
+  if (num_edges != num_vars - 1) {
+    return Status::Unsupported(
+        "TMNF transform: rule body graph is not a tree in " +
+        RuleToString(rule));
+  }
+
+  // 4. Root the body tree at the head variable and fold bottom-up:
+  // solve(v, parent) = conjunction of v's unary atoms and, per child w via
+  // axis A (oriented v -> w), a fresh predicate for ∃w A(v,w) ∧ solve(w).
+  int reached = 0;
+  // Iterative DFS to avoid deep recursion on path-shaped rules.
+  struct Frame {
+    int var;
+    int parent;
+    size_t next_edge = 0;
+    std::vector<UPred> parts;
+  };
+  std::map<int, UPred> solved;
+  std::vector<Frame> stack;
+  Frame root_frame;
+  root_frame.var = rep(rule.head_var);
+  root_frame.parent = -1;
+  stack.push_back(std::move(root_frame));
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_edge == 0) {
+      ++reached;
+      for (const Atom& a : unary_at[f.var]) {
+        UPred p;
+        p.proto = a;
+        p.proto.var0 = -1;
+        f.parts.push_back(p);
+      }
+    }
+    if (f.next_edge < edges[f.var].size()) {
+      auto [nbr, axis] = edges[f.var][f.next_edge++];
+      if (nbr == f.parent) continue;
+      Frame child_frame;
+      child_frame.var = nbr;
+      child_frame.parent = f.var;
+      stack.push_back(std::move(child_frame));
+      continue;
+    }
+    // All children solved: conjoin and record.
+    UPred result = emitter->Conjoin(std::move(f.parts));
+    int var = f.var;
+    int parent = f.parent;
+    solved.emplace(var, result);
+    stack.pop_back();
+    if (!stack.empty()) {
+      // Attach to the parent frame: parent needs ∃v axis(parent, v) ∧ result.
+      Frame& pf = stack.back();
+      // Find the axis of the edge parent -> var.
+      Axis axis = Axis::kSelf;
+      bool found = false;
+      for (const auto& [nbr, ax] : edges[pf.var]) {
+        if (nbr == var) {
+          axis = ax;
+          found = true;
+          break;
+        }
+      }
+      TREEQ_CHECK(found);
+      std::string fresh = emitter->Fresh();
+      emitter->EmitExists(axis, result, fresh);
+      pf.parts.push_back(emitter->Intensional(fresh));
+    } else {
+      (void)parent;
+      // Root of the body tree: emit the head rule.
+      emitter->EmitCopy(rule.head_pred, result);
+    }
+  }
+  if (reached != num_vars) {
+    return Status::Unsupported(
+        "TMNF transform: rule body graph is disconnected in " +
+        RuleToString(rule));
+  }
+  (void)out;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Program> ToTmnf(const Program& program) {
+  TREEQ_RETURN_IF_ERROR(program.Validate());
+  Program out;
+  TmnfEmitter emitter(&out);
+  for (const Rule& rule : program.rules()) {
+    TREEQ_RETURN_IF_ERROR(TransformRule(rule, &emitter, &out));
+  }
+  out.set_query_predicate(program.query_predicate());
+  TREEQ_RETURN_IF_ERROR(out.Validate());
+  TREEQ_CHECK(IsTmnf(out));
+  return out;
+}
+
+}  // namespace datalog
+}  // namespace treeq

@@ -1,0 +1,37 @@
+#ifndef TREEQ_DATALOG_TMNF_H_
+#define TREEQ_DATALOG_TMNF_H_
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+/// \file tmnf.h
+/// Tree-Marking Normal Form (Definition 3.4) and the linear-time
+/// transformation into it ([31], Section 3). A TMNF rule is one of
+///   (1) p(x) <- p0(x).
+///   (2) p(x) <- p0(x0), B(x0, x).
+///   (3) p(x) <- p0(x), p1(x).
+/// with p0, p1 intensional or tau+ unary predicates and B one of
+/// FirstChild, NextSibling or their inverses.
+///
+/// ToTmnf additionally compiles the derived axes (Child, Child+, Child*,
+/// NextSibling+, NextSibling*, Following, and inverses) into
+/// FirstChild/NextSibling recursions, generalizing Example 3.1: e.g.
+/// "some child satisfies q" becomes "the first child reaches a q-node
+/// walking NextSibling".
+
+namespace treeq {
+namespace datalog {
+
+/// True iff every rule of `program` matches one of the three TMNF forms.
+bool IsTmnf(const Program& program);
+
+/// Rewrites `program` into an equivalent TMNF program. Each rule body's
+/// variable graph (binary atoms as edges, after unifying variables joined
+/// by Self atoms) must be connected, acyclic, and simple; otherwise
+/// Unsupported is returned. Output size is O(|program|).
+Result<Program> ToTmnf(const Program& program);
+
+}  // namespace datalog
+}  // namespace treeq
+
+#endif  // TREEQ_DATALOG_TMNF_H_

@@ -1,0 +1,185 @@
+#include "fo/ast.h"
+
+#include <algorithm>
+#include <set>
+
+namespace treeq {
+namespace fo {
+
+std::unique_ptr<Formula> Formula::Label(std::string label, std::string var) {
+  auto f = std::make_unique<Formula>();
+  f->kind = Kind::kLabel;
+  f->label = std::move(label);
+  f->var0 = std::move(var);
+  return f;
+}
+
+std::unique_ptr<Formula> Formula::AxisAtom(Axis axis, std::string var0,
+                                           std::string var1) {
+  auto f = std::make_unique<Formula>();
+  f->kind = Kind::kAxis;
+  f->axis = axis;
+  f->var0 = std::move(var0);
+  f->var1 = std::move(var1);
+  return f;
+}
+
+std::unique_ptr<Formula> Formula::Equals(std::string var0, std::string var1) {
+  auto f = std::make_unique<Formula>();
+  f->kind = Kind::kEquals;
+  f->var0 = std::move(var0);
+  f->var1 = std::move(var1);
+  return f;
+}
+
+std::unique_ptr<Formula> Formula::And(std::unique_ptr<Formula> l,
+                                      std::unique_ptr<Formula> r) {
+  auto f = std::make_unique<Formula>();
+  f->kind = Kind::kAnd;
+  f->left = std::move(l);
+  f->right = std::move(r);
+  return f;
+}
+
+std::unique_ptr<Formula> Formula::Or(std::unique_ptr<Formula> l,
+                                     std::unique_ptr<Formula> r) {
+  auto f = std::make_unique<Formula>();
+  f->kind = Kind::kOr;
+  f->left = std::move(l);
+  f->right = std::move(r);
+  return f;
+}
+
+std::unique_ptr<Formula> Formula::Not(std::unique_ptr<Formula> inner) {
+  auto f = std::make_unique<Formula>();
+  f->kind = Kind::kNot;
+  f->left = std::move(inner);
+  return f;
+}
+
+std::unique_ptr<Formula> Formula::Exists(std::string var,
+                                         std::unique_ptr<Formula> body) {
+  auto f = std::make_unique<Formula>();
+  f->kind = Kind::kExists;
+  f->var0 = std::move(var);
+  f->left = std::move(body);
+  return f;
+}
+
+std::unique_ptr<Formula> Formula::ForAll(std::string var,
+                                         std::unique_ptr<Formula> body) {
+  auto f = std::make_unique<Formula>();
+  f->kind = Kind::kForAll;
+  f->var0 = std::move(var);
+  f->left = std::move(body);
+  return f;
+}
+
+std::unique_ptr<Formula> Formula::Clone() const {
+  auto f = std::make_unique<Formula>();
+  f->kind = kind;
+  f->label = label;
+  f->axis = axis;
+  f->var0 = var0;
+  f->var1 = var1;
+  if (left != nullptr) f->left = left->Clone();
+  if (right != nullptr) f->right = right->Clone();
+  return f;
+}
+
+namespace {
+
+void CollectFree(const Formula& f, std::set<std::string>* bound,
+                 std::vector<std::string>* out,
+                 std::set<std::string>* seen) {
+  auto add = [&](const std::string& v) {
+    if (!bound->count(v) && seen->insert(v).second) out->push_back(v);
+  };
+  switch (f.kind) {
+    case Formula::Kind::kLabel:
+      add(f.var0);
+      return;
+    case Formula::Kind::kAxis:
+    case Formula::Kind::kEquals:
+      add(f.var0);
+      add(f.var1);
+      return;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+      CollectFree(*f.left, bound, out, seen);
+      CollectFree(*f.right, bound, out, seen);
+      return;
+    case Formula::Kind::kNot:
+      CollectFree(*f.left, bound, out, seen);
+      return;
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForAll: {
+      bool was_bound = bound->count(f.var0) > 0;
+      bound->insert(f.var0);
+      CollectFree(*f.left, bound, out, seen);
+      if (!was_bound) bound->erase(f.var0);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> FreeVariables(const Formula& f) {
+  std::set<std::string> bound;
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  CollectFree(f, &bound, &out, &seen);
+  return out;
+}
+
+bool IsPositive(const Formula& f) {
+  switch (f.kind) {
+    case Formula::Kind::kLabel:
+    case Formula::Kind::kAxis:
+    case Formula::Kind::kEquals:
+      return true;
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+      return IsPositive(*f.left) && IsPositive(*f.right);
+    case Formula::Kind::kNot:
+    case Formula::Kind::kForAll:
+      return false;
+    case Formula::Kind::kExists:
+      return IsPositive(*f.left);
+  }
+  return false;
+}
+
+int Size(const Formula& f) {
+  int size = 1;
+  if (f.left != nullptr) size += Size(*f.left);
+  if (f.right != nullptr) size += Size(*f.right);
+  return size;
+}
+
+std::string ToString(const Formula& f) {
+  switch (f.kind) {
+    case Formula::Kind::kLabel:
+      return "Lab_" + f.label + "(" + f.var0 + ")";
+    case Formula::Kind::kAxis:
+      return std::string(AxisName(f.axis)) + "(" + f.var0 + ", " + f.var1 +
+             ")";
+    case Formula::Kind::kEquals:
+      return f.var0 + " = " + f.var1;
+    case Formula::Kind::kAnd:
+      return "(" + ToString(*f.left) + " and " + ToString(*f.right) + ")";
+    case Formula::Kind::kOr:
+      return "(" + ToString(*f.left) + " or " + ToString(*f.right) + ")";
+    case Formula::Kind::kNot:
+      return "not " + ToString(*f.left);
+    case Formula::Kind::kExists:
+      return "exists " + f.var0 + " . " + ToString(*f.left);
+    case Formula::Kind::kForAll:
+      return "forall " + f.var0 + " . " + ToString(*f.left);
+  }
+  return "";
+}
+
+}  // namespace fo
+}  // namespace treeq

@@ -1,0 +1,77 @@
+#ifndef TREEQ_FO_AST_H_
+#define TREEQ_FO_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tree/axes.h"
+
+/// \file ast.h
+/// First-order logic over tree structures (Section 3): formulas built from
+/// label atoms Lab_a(x), axis atoms R(x, y), equality, the Boolean
+/// connectives and quantifiers. A k-ary FO query is a formula with k free
+/// variables.
+///
+/// A *positive* FO query uses no negation and no universal quantification —
+/// the fragment Theorem 5.1 / Corollary 5.2 make linear-time (fo/
+/// corollary52.h). The naive evaluator (fo/evaluator.h) handles full FO,
+/// realizing the "FO has linear-time data complexity but PSPACE combined
+/// complexity" contrast.
+
+namespace treeq {
+namespace fo {
+
+struct Formula {
+  enum class Kind {
+    kLabel,   // Lab_label(var)
+    kAxis,    // axis(var0, var1)
+    kEquals,  // var0 = var1
+    kAnd,
+    kOr,
+    kNot,     // uses `left`
+    kExists,  // var quantified in `left`
+    kForAll,  // var quantified in `left`
+  };
+
+  Kind kind = Kind::kLabel;
+  std::string label;     // kLabel
+  Axis axis = Axis::kSelf;
+  std::string var0;      // kLabel/kAxis/kEquals; quantified var for ∃/∀
+  std::string var1;      // kAxis/kEquals
+  std::unique_ptr<Formula> left;
+  std::unique_ptr<Formula> right;
+
+  static std::unique_ptr<Formula> Label(std::string label, std::string var);
+  static std::unique_ptr<Formula> AxisAtom(Axis axis, std::string var0,
+                                           std::string var1);
+  static std::unique_ptr<Formula> Equals(std::string var0, std::string var1);
+  static std::unique_ptr<Formula> And(std::unique_ptr<Formula> l,
+                                      std::unique_ptr<Formula> r);
+  static std::unique_ptr<Formula> Or(std::unique_ptr<Formula> l,
+                                     std::unique_ptr<Formula> r);
+  static std::unique_ptr<Formula> Not(std::unique_ptr<Formula> f);
+  static std::unique_ptr<Formula> Exists(std::string var,
+                                         std::unique_ptr<Formula> body);
+  static std::unique_ptr<Formula> ForAll(std::string var,
+                                         std::unique_ptr<Formula> body);
+
+  std::unique_ptr<Formula> Clone() const;
+};
+
+/// Free variables in first-occurrence order.
+std::vector<std::string> FreeVariables(const Formula& f);
+
+/// True iff the formula avoids kNot and kForAll (and kEquals is allowed).
+bool IsPositive(const Formula& f);
+
+/// Number of AST nodes.
+int Size(const Formula& f);
+
+/// Reparseable rendering: "exists x . (Child(x, y) and Lab_a(y))".
+std::string ToString(const Formula& f);
+
+}  // namespace fo
+}  // namespace treeq
+
+#endif  // TREEQ_FO_AST_H_

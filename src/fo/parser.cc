@@ -1,0 +1,174 @@
+#include "fo/parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace treeq {
+namespace fo {
+namespace {
+
+class FoParser {
+ public:
+  explicit FoParser(std::string_view input) : input_(input) {}
+
+  Result<std::unique_ptr<Formula>> Parse() {
+    TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Formula> f, ParseFormula());
+    Skip();
+    if (!Eof()) return Error("trailing input");
+    return f;
+  }
+
+ private:
+  bool Eof() const { return pos_ >= input_.size(); }
+  char Peek() const { return Eof() ? '\0' : input_[pos_]; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos_));
+  }
+
+  void Skip() {
+    for (;;) {
+      while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+      if (!Eof() && (Peek() == '%' || Peek() == '#')) {
+        while (!Eof() && Peek() != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '+' || c == '*' || c == '-';
+  }
+
+  bool MatchWord(std::string_view word) {
+    Skip();
+    if (!input_.substr(pos_).starts_with(word)) return false;
+    size_t end = pos_ + word.size();
+    if (end < input_.size() && IsNameChar(input_[end])) return false;
+    pos_ = end;
+    return true;
+  }
+
+  bool Match(char c) {
+    Skip();
+    if (Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  Result<std::string> ParseName() {
+    Skip();
+    size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) ++pos_;
+    if (pos_ == start) return Error("expected a name");
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseQuoted() {
+    Skip();
+    if (Peek() != '"') return Error("expected '\"'");
+    ++pos_;
+    size_t start = pos_;
+    while (!Eof() && Peek() != '"') ++pos_;
+    if (Eof()) return Error("unterminated string");
+    std::string s(input_.substr(start, pos_ - start));
+    ++pos_;
+    return s;
+  }
+
+  Result<std::unique_ptr<Formula>> ParseFormula() {
+    // Quantifiers scope maximally to the right.
+    if (MatchWord("exists")) return ParseQuantified(/*forall=*/false);
+    if (MatchWord("forall")) return ParseQuantified(/*forall=*/true);
+    return ParseOr();
+  }
+
+  Result<std::unique_ptr<Formula>> ParseQuantified(bool forall) {
+    TREEQ_ASSIGN_OR_RETURN(std::string var, ParseName());
+    if (!Match('.')) return Error("expected '.' after quantifier");
+    TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Formula> body, ParseFormula());
+    return forall ? Formula::ForAll(var, std::move(body))
+                  : Formula::Exists(var, std::move(body));
+  }
+
+  Result<std::unique_ptr<Formula>> ParseOr() {
+    TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Formula> left, ParseAnd());
+    while (MatchWord("or")) {
+      TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Formula> right, ParseAnd());
+      left = Formula::Or(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Formula>> ParseAnd() {
+    TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Formula> left, ParseUnary());
+    while (MatchWord("and")) {
+      TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Formula> right, ParseUnary());
+      left = Formula::And(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Formula>> ParseUnary() {
+    if (MatchWord("not")) {
+      TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Formula> inner, ParseUnary());
+      return Formula::Not(std::move(inner));
+    }
+    if (MatchWord("exists")) return ParseQuantified(/*forall=*/false);
+    if (MatchWord("forall")) return ParseQuantified(/*forall=*/true);
+    if (Match('(')) {
+      TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Formula> inner, ParseFormula());
+      if (!Match(')')) return Error("expected ')'");
+      return inner;
+    }
+    return ParseAtom();
+  }
+
+  Result<std::unique_ptr<Formula>> ParseAtom() {
+    TREEQ_ASSIGN_OR_RETURN(std::string name, ParseName());
+    Skip();
+    if (Peek() == '=') {
+      ++pos_;
+      TREEQ_ASSIGN_OR_RETURN(std::string rhs, ParseName());
+      return Formula::Equals(name, rhs);
+    }
+    if (name == "Label") {
+      if (!Match('(')) return Error("expected '('");
+      TREEQ_ASSIGN_OR_RETURN(std::string label, ParseQuoted());
+      if (!Match(',')) return Error("expected ','");
+      TREEQ_ASSIGN_OR_RETURN(std::string v, ParseName());
+      if (!Match(')')) return Error("expected ')'");
+      return Formula::Label(label, v);
+    }
+    if (name.starts_with("Lab_")) {
+      if (!Match('(')) return Error("expected '('");
+      TREEQ_ASSIGN_OR_RETURN(std::string v, ParseName());
+      if (!Match(')')) return Error("expected ')'");
+      return Formula::Label(name.substr(4), v);
+    }
+    Result<Axis> axis = ParseAxis(name);
+    if (!axis.ok()) return Error("unknown atom '" + name + "'");
+    if (!Match('(')) return Error("expected '('");
+    TREEQ_ASSIGN_OR_RETURN(std::string v0, ParseName());
+    if (!Match(',')) return Error("expected ','");
+    TREEQ_ASSIGN_OR_RETURN(std::string v1, ParseName());
+    if (!Match(')')) return Error("expected ')'");
+    return Formula::AxisAtom(axis.value(), v0, v1);
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Formula>> ParseFo(std::string_view input) {
+  return FoParser(input).Parse();
+}
+
+}  // namespace fo
+}  // namespace treeq

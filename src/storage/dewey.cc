@@ -1,0 +1,209 @@
+#include "storage/dewey.h"
+
+#include <algorithm>
+
+namespace treeq {
+
+int OrdpathCompare(const OrdpathLabel& a, const OrdpathLabel& b) {
+  size_t k = std::min(a.size(), b.size());
+  for (size_t i = 0; i < k; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+namespace {
+bool IsOdd(int64_t x) { return ((x % 2) + 2) % 2 == 1; }
+}  // namespace
+
+int OrdpathDepth(const OrdpathLabel& label) {
+  int depth = 0;
+  for (int64_t c : label) {
+    if (IsOdd(c)) ++depth;
+  }
+  return depth;
+}
+
+bool OrdpathIsAncestor(const OrdpathLabel& a, const OrdpathLabel& b) {
+  if (a.size() >= b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  // A chunk boundary lies exactly after each odd component; `a` must end at
+  // a boundary, which holds iff `a` is empty or ends odd (valid labels
+  // always do). So the prefix test suffices for valid labels.
+  return true;
+}
+
+bool OrdpathIsChild(const OrdpathLabel& a, const OrdpathLabel& b) {
+  return OrdpathIsAncestor(a, b) &&
+         OrdpathDepth(b) == OrdpathDepth(a) + 1;
+}
+
+bool OrdpathIsFollowingSibling(const OrdpathLabel& a, const OrdpathLabel& b) {
+  if (a.empty() || b.empty()) return false;  // the root has no siblings
+  // Same parent: equal after removing the last chunk.
+  auto parent_len = [](const OrdpathLabel& l) {
+    size_t i = l.size();
+    while (i > 0 && !IsOdd(l[i - 1])) --i;  // unreachable for valid labels
+    // Last component is odd; the chunk extends back over preceding evens.
+    --i;
+    while (i > 0 && !IsOdd(l[i - 1])) --i;
+    return i;
+  };
+  size_t pa = parent_len(a);
+  size_t pb = parent_len(b);
+  if (pa != pb) return false;
+  for (size_t i = 0; i < pa; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return OrdpathCompare(a, b) < 0;
+}
+
+bool OrdpathIsFollowing(const OrdpathLabel& a, const OrdpathLabel& b) {
+  return OrdpathCompare(a, b) < 0 && !OrdpathIsAncestor(a, b);
+}
+
+bool OrdpathIsValidChunk(const std::vector<int64_t>& chunk) {
+  if (chunk.empty()) return false;
+  for (size_t i = 0; i + 1 < chunk.size(); ++i) {
+    if (IsOdd(chunk[i])) return false;
+  }
+  return IsOdd(chunk.back());
+}
+
+std::vector<int64_t> OrdpathBefore(const std::vector<int64_t>& chunk) {
+  TREEQ_CHECK(OrdpathIsValidChunk(chunk));
+  int64_t head = chunk[0] - 2;
+  if (IsOdd(head)) return {head};
+  return {head, 1};
+}
+
+std::vector<int64_t> OrdpathAfter(const std::vector<int64_t>& chunk) {
+  TREEQ_CHECK(OrdpathIsValidChunk(chunk));
+  int64_t head = chunk[0] + 2;
+  if (IsOdd(head)) return {head};
+  return {head, 1};
+}
+
+std::vector<int64_t> OrdpathBetween(const std::vector<int64_t>& a,
+                                    const std::vector<int64_t>& b) {
+  TREEQ_CHECK(OrdpathIsValidChunk(a) && OrdpathIsValidChunk(b));
+  TREEQ_CHECK(OrdpathCompare(a, b) < 0);
+  // Valid chunks are never prefixes of one another (a chunk's only odd
+  // component is its last), so a divergence index exists.
+  size_t i = 0;
+  while (a[i] == b[i]) {
+    ++i;
+    TREEQ_CHECK(i < a.size() && i < b.size());
+  }
+  std::vector<int64_t> out(a.begin(), a.begin() + i);
+  int64_t lo = a[i];
+  int64_t hi = b[i];
+  TREEQ_CHECK(lo < hi);
+  if (hi - lo >= 2) {
+    // Room for a component strictly in between.
+    int64_t mid = lo + 1;  // lo+1 < hi
+    if (IsOdd(mid)) {
+      out.push_back(mid);
+    } else if (mid + 1 < hi) {
+      out.push_back(mid + 1);  // odd and still below hi
+    } else {
+      out.push_back(mid);  // even caret, then terminate
+      out.push_back(1);
+    }
+    return out;
+  }
+  // hi == lo + 1: descend into one side.
+  if (IsOdd(lo)) {
+    // `a` ends here (odd terminates its chunk); go under b's continuation.
+    TREEQ_CHECK(i + 1 < b.size());  // hi is even, so b continues
+    out.push_back(hi);
+    std::vector<int64_t> rest(b.begin() + i + 1, b.end());
+    std::vector<int64_t> below = OrdpathBefore(rest);
+    out.insert(out.end(), below.begin(), below.end());
+    return out;
+  }
+  // lo is even: `a` continues; go above a's continuation.
+  TREEQ_CHECK(i + 1 < a.size());
+  out.push_back(lo);
+  std::vector<int64_t> rest(a.begin() + i + 1, a.end());
+  std::vector<int64_t> above = OrdpathAfter(rest);
+  out.insert(out.end(), above.begin(), above.end());
+  return out;
+}
+
+std::string OrdpathToString(const OrdpathLabel& label) {
+  std::string out;
+  for (size_t i = 0; i < label.size(); ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(label[i]);
+  }
+  return out.empty() ? "<root>" : out;
+}
+
+DeweyLabeling DeweyLabeling::Build(const Tree& tree) {
+  DeweyLabeling d;
+  d.labels_.resize(tree.num_nodes());
+  // Parent ids precede child ids (TreeBuilder invariant), so a single pass
+  // in sibling order per parent suffices; we traverse explicitly for
+  // clarity.
+  std::vector<NodeId> stack = {tree.root()};
+  d.labels_[tree.root()] = {};
+  while (!stack.empty()) {
+    NodeId v = stack.back();
+    stack.pop_back();
+    int64_t ordinal = 1;
+    for (NodeId c = tree.first_child(v); c != kNullNode;
+         c = tree.next_sibling(c)) {
+      d.labels_[c] = d.labels_[v];
+      d.labels_[c].push_back(ordinal);
+      ordinal += 2;
+      stack.push_back(c);
+    }
+  }
+  return d;
+}
+
+Result<int> DeweyLabeling::InsertChild(NodeId parent, NodeId left,
+                                       NodeId right) {
+  if (parent < 0 || parent >= num_nodes()) {
+    return Status::InvalidArgument("bad parent id");
+  }
+  const OrdpathLabel& base = labels_[parent];
+  auto chunk_of = [&](NodeId child) -> Result<std::vector<int64_t>> {
+    if (child < 0 || child >= num_nodes()) {
+      return Status::InvalidArgument("bad sibling id");
+    }
+    const OrdpathLabel& l = labels_[child];
+    if (!OrdpathIsChild(base, l)) {
+      return Status::InvalidArgument("sibling is not a child of parent");
+    }
+    return std::vector<int64_t>(l.begin() + base.size(), l.end());
+  };
+
+  std::vector<int64_t> chunk;
+  if (left == kNullNode && right == kNullNode) {
+    chunk = {1};
+  } else if (left == kNullNode) {
+    TREEQ_ASSIGN_OR_RETURN(std::vector<int64_t> r, chunk_of(right));
+    chunk = OrdpathBefore(r);
+  } else if (right == kNullNode) {
+    TREEQ_ASSIGN_OR_RETURN(std::vector<int64_t> l, chunk_of(left));
+    chunk = OrdpathAfter(l);
+  } else {
+    TREEQ_ASSIGN_OR_RETURN(std::vector<int64_t> l, chunk_of(left));
+    TREEQ_ASSIGN_OR_RETURN(std::vector<int64_t> r, chunk_of(right));
+    if (OrdpathCompare(l, r) >= 0) {
+      return Status::InvalidArgument("left sibling not before right sibling");
+    }
+    chunk = OrdpathBetween(l, r);
+  }
+  OrdpathLabel label = base;
+  label.insert(label.end(), chunk.begin(), chunk.end());
+  labels_.push_back(std::move(label));
+  return num_nodes() - 1;
+}
+
+}  // namespace treeq

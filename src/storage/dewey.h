@@ -1,0 +1,87 @@
+#ifndef TREEQ_STORAGE_DEWEY_H_
+#define TREEQ_STORAGE_DEWEY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/status.h"
+
+/// \file dewey.h
+/// ORDPATH-style Dewey node labels ([63], Section 2's discussion of labeling
+/// and indexing schemes). A node's label is a sequence of integers; each
+/// tree level contributes one *chunk* of the form even* odd (the even
+/// components are "carets" created by insertions and do not add depth).
+///
+/// Properties realized here:
+///   - document order  = lexicographic order of labels,
+///   - depth           = number of odd components (chunks),
+///   - ancestor(a, b)  = a's chunk sequence is a proper prefix of b's,
+///   - insert-friendliness: a new sibling label strictly between any two
+///     existing sibling labels can be generated without relabeling anything
+///     (OrdpathBetween / OrdpathBefore / OrdpathAfter).
+
+namespace treeq {
+
+/// A full node label (concatenation of per-level chunks).
+using OrdpathLabel = std::vector<int64_t>;
+
+/// Lexicographic comparison; equals document order. Returns <0, 0, >0.
+int OrdpathCompare(const OrdpathLabel& a, const OrdpathLabel& b);
+
+/// Number of chunks == depth below the root (the root has the empty label).
+int OrdpathDepth(const OrdpathLabel& label);
+
+/// True iff `a` is a proper ancestor of `b`.
+bool OrdpathIsAncestor(const OrdpathLabel& a, const OrdpathLabel& b);
+
+/// True iff `b` is a child of `a`.
+bool OrdpathIsChild(const OrdpathLabel& a, const OrdpathLabel& b);
+
+/// True iff a and b are siblings (same parent chunk prefix) with b after a.
+bool OrdpathIsFollowingSibling(const OrdpathLabel& a, const OrdpathLabel& b);
+
+/// True iff Following(a, b) in the paper's sense: a before b in document
+/// order and disjoint subtrees.
+bool OrdpathIsFollowing(const OrdpathLabel& a, const OrdpathLabel& b);
+
+/// True iff `chunk` is a single valid level ordinal: even* odd, nonempty.
+bool OrdpathIsValidChunk(const std::vector<int64_t>& chunk);
+
+/// A chunk strictly smaller than `chunk` (insert before the first sibling).
+std::vector<int64_t> OrdpathBefore(const std::vector<int64_t>& chunk);
+
+/// A chunk strictly greater than `chunk` (insert after the last sibling).
+std::vector<int64_t> OrdpathAfter(const std::vector<int64_t>& chunk);
+
+/// A chunk strictly between two distinct sibling chunks a < b.
+std::vector<int64_t> OrdpathBetween(const std::vector<int64_t>& a,
+                                    const std::vector<int64_t>& b);
+
+/// "1.3.5" rendering for debugging.
+std::string OrdpathToString(const OrdpathLabel& label);
+
+/// The ORDPATH labeling of a whole tree: initial chunks are 1, 3, 5, ...
+/// per the ORDPATH convention (leaving even gaps for future inserts).
+class DeweyLabeling {
+ public:
+  /// Labels every node of `tree` in O(total label length).
+  static DeweyLabeling Build(const Tree& tree);
+
+  const OrdpathLabel& label(NodeId n) const { return labels_[n]; }
+  int num_nodes() const { return static_cast<int>(labels_.size()); }
+
+  /// Generates a label for a fresh node inserted as a child of `parent`
+  /// between existing children `left` and `right` (either may be kNullNode
+  /// for "at the edge"). The labeling stores the new label and returns its
+  /// dense id. Existing labels never change.
+  Result<int> InsertChild(NodeId parent, NodeId left, NodeId right);
+
+ private:
+  std::vector<OrdpathLabel> labels_;
+};
+
+}  // namespace treeq
+
+#endif  // TREEQ_STORAGE_DEWEY_H_

@@ -1,0 +1,49 @@
+#ifndef TREEQ_STREAM_SAX_H_
+#define TREEQ_STREAM_SAX_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/status.h"
+
+/// \file sax.h
+/// SAX-style event streams (Section 5): a document is consumed as a
+/// left-to-right sequence of start/end element events — "the order in which
+/// the opening resp. closing tag of each node is seen when reading the
+/// corresponding XML document". Streaming consumers never see the tree.
+
+namespace treeq {
+namespace stream {
+
+/// One event. `labels` carries the node's labels on kStartElement (empty on
+/// kEndElement); `node` identifies the element for result reporting when the
+/// stream comes from a materialized tree (kNullNode for text streams).
+struct SaxEvent {
+  enum class Kind { kStartElement, kEndElement };
+  Kind kind = Kind::kStartElement;
+  std::vector<std::string> labels;
+  NodeId node = kNullNode;
+};
+
+/// Callback-based consumption; events are produced in document order.
+using SaxHandler = std::function<void(const SaxEvent&)>;
+
+/// Streams a materialized tree (iteratively; safe for deep documents).
+void StreamTree(const Tree& tree, const SaxHandler& handler);
+
+/// Materialized event list (for tests).
+std::vector<SaxEvent> ToSaxEvents(const Tree& tree);
+
+/// Streams XML text WITHOUT building a tree: the scanner keeps only the
+/// open-element stack (tag names for well-formedness checking), i.e.
+/// O(depth) memory. Supports the same XML subset as tree/xml.h; text
+/// content is skipped. Nodes are numbered in document order.
+Status StreamXmlText(std::string_view input, const SaxHandler& handler);
+
+}  // namespace stream
+}  // namespace treeq
+
+#endif  // TREEQ_STREAM_SAX_H_

@@ -1,0 +1,451 @@
+#include "tree/axes.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace treeq {
+
+Axis InverseAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kSelf:
+      return Axis::kSelf;
+    case Axis::kChild:
+      return Axis::kParent;
+    case Axis::kParent:
+      return Axis::kChild;
+    case Axis::kDescendant:
+      return Axis::kAncestor;
+    case Axis::kAncestor:
+      return Axis::kDescendant;
+    case Axis::kDescendantOrSelf:
+      return Axis::kAncestorOrSelf;
+    case Axis::kAncestorOrSelf:
+      return Axis::kDescendantOrSelf;
+    case Axis::kNextSibling:
+      return Axis::kPrevSibling;
+    case Axis::kPrevSibling:
+      return Axis::kNextSibling;
+    case Axis::kFollowingSibling:
+      return Axis::kPrecedingSibling;
+    case Axis::kPrecedingSibling:
+      return Axis::kFollowingSibling;
+    case Axis::kFollowingSiblingOrSelf:
+      return Axis::kPrecedingSiblingOrSelf;
+    case Axis::kPrecedingSiblingOrSelf:
+      return Axis::kFollowingSiblingOrSelf;
+    case Axis::kFollowing:
+      return Axis::kPreceding;
+    case Axis::kPreceding:
+      return Axis::kFollowing;
+    case Axis::kFirstChild:
+      return Axis::kFirstChildInv;
+    case Axis::kFirstChildInv:
+      return Axis::kFirstChild;
+  }
+  TREEQ_CHECK(false);
+  return Axis::kSelf;
+}
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kSelf:
+      return "self";
+    case Axis::kChild:
+      return "child";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kAncestorOrSelf:
+      return "ancestor-or-self";
+    case Axis::kNextSibling:
+      return "next-sibling";
+    case Axis::kPrevSibling:
+      return "prev-sibling";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+    case Axis::kFollowingSiblingOrSelf:
+      return "following-sibling-or-self";
+    case Axis::kPrecedingSiblingOrSelf:
+      return "preceding-sibling-or-self";
+    case Axis::kFollowing:
+      return "following";
+    case Axis::kPreceding:
+      return "preceding";
+    case Axis::kFirstChild:
+      return "first-child";
+    case Axis::kFirstChildInv:
+      return "first-child-inv";
+  }
+  TREEQ_CHECK(false);
+  return "";
+}
+
+Result<Axis> ParseAxis(std::string_view name) {
+  struct Alias {
+    const char* name;
+    Axis axis;
+  };
+  static constexpr Alias kAliases[] = {
+      {"self", Axis::kSelf},
+      {"Self", Axis::kSelf},
+      {"child", Axis::kChild},
+      {"Child", Axis::kChild},
+      {"parent", Axis::kParent},
+      {"Parent", Axis::kParent},
+      {"Child-", Axis::kParent},
+      {"descendant", Axis::kDescendant},
+      {"Descendant", Axis::kDescendant},
+      {"Child+", Axis::kDescendant},
+      {"ancestor", Axis::kAncestor},
+      {"Ancestor", Axis::kAncestor},
+      {"descendant-or-self", Axis::kDescendantOrSelf},
+      {"Descendant-or-self", Axis::kDescendantOrSelf},
+      {"Child*", Axis::kDescendantOrSelf},
+      {"ancestor-or-self", Axis::kAncestorOrSelf},
+      {"Ancestor-or-self", Axis::kAncestorOrSelf},
+      {"next-sibling", Axis::kNextSibling},
+      {"NextSibling", Axis::kNextSibling},
+      {"prev-sibling", Axis::kPrevSibling},
+      {"PrevSibling", Axis::kPrevSibling},
+      {"NextSibling-", Axis::kPrevSibling},
+      {"following-sibling", Axis::kFollowingSibling},
+      {"Following-Sibling", Axis::kFollowingSibling},
+      {"NextSibling+", Axis::kFollowingSibling},
+      {"preceding-sibling", Axis::kPrecedingSibling},
+      {"Preceding-Sibling", Axis::kPrecedingSibling},
+      {"following-sibling-or-self", Axis::kFollowingSiblingOrSelf},
+      {"NextSibling*", Axis::kFollowingSiblingOrSelf},
+      {"preceding-sibling-or-self", Axis::kPrecedingSiblingOrSelf},
+      {"following", Axis::kFollowing},
+      {"Following", Axis::kFollowing},
+      {"preceding", Axis::kPreceding},
+      {"Preceding", Axis::kPreceding},
+      {"first-child", Axis::kFirstChild},
+      {"FirstChild", Axis::kFirstChild},
+      {"first-child-inv", Axis::kFirstChildInv},
+  };
+  for (const Alias& a : kAliases) {
+    if (name == a.name) return a.axis;
+  }
+  return Status::ParseError("unknown axis: " + std::string(name));
+}
+
+bool IsTransitiveAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kDescendant:
+    case Axis::kAncestor:
+    case Axis::kDescendantOrSelf:
+    case Axis::kAncestorOrSelf:
+    case Axis::kFollowingSibling:
+    case Axis::kPrecedingSibling:
+    case Axis::kFollowingSiblingOrSelf:
+    case Axis::kPrecedingSiblingOrSelf:
+    case Axis::kFollowing:
+    case Axis::kPreceding:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsForwardAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kSelf:
+    case Axis::kChild:
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf:
+    case Axis::kNextSibling:
+    case Axis::kFollowingSibling:
+    case Axis::kFollowingSiblingOrSelf:
+    case Axis::kFollowing:
+    case Axis::kFirstChild:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool AxisHolds(const Tree& tree, const TreeOrders& orders, Axis axis, NodeId u,
+               NodeId v) {
+  switch (axis) {
+    case Axis::kSelf:
+      return u == v;
+    case Axis::kChild:
+      return tree.parent(v) == u;
+    case Axis::kParent:
+      return tree.parent(u) == v;
+    case Axis::kDescendant:
+      return orders.IsProperAncestor(u, v);
+    case Axis::kAncestor:
+      return orders.IsProperAncestor(v, u);
+    case Axis::kDescendantOrSelf:
+      return u == v || orders.IsProperAncestor(u, v);
+    case Axis::kAncestorOrSelf:
+      return u == v || orders.IsProperAncestor(v, u);
+    case Axis::kNextSibling:
+      return tree.next_sibling(u) == v;
+    case Axis::kPrevSibling:
+      return tree.next_sibling(v) == u;
+    case Axis::kFollowingSibling:
+      return u != v && tree.parent(u) == tree.parent(v) &&
+             tree.parent(u) != kNullNode && orders.pre[u] < orders.pre[v];
+    case Axis::kPrecedingSibling:
+      return AxisHolds(tree, orders, Axis::kFollowingSibling, v, u);
+    case Axis::kFollowingSiblingOrSelf:
+      return u == v ||
+             AxisHolds(tree, orders, Axis::kFollowingSibling, u, v);
+    case Axis::kPrecedingSiblingOrSelf:
+      return u == v ||
+             AxisHolds(tree, orders, Axis::kFollowingSibling, v, u);
+    case Axis::kFollowing:
+      return orders.IsFollowing(u, v);
+    case Axis::kPreceding:
+      return orders.IsFollowing(v, u);
+    case Axis::kFirstChild:
+      return tree.first_child(u) == v;
+    case Axis::kFirstChildInv:
+      return tree.first_child(v) == u;
+  }
+  TREEQ_CHECK(false);
+  return false;
+}
+
+void NodeSet::UnionWith(const NodeSet& other) {
+  TREEQ_CHECK(universe() == other.universe());
+  for (int i = 0; i < universe(); ++i) {
+    if (other.bits_[i]) Insert(i);
+  }
+}
+
+void NodeSet::IntersectWith(const NodeSet& other) {
+  TREEQ_CHECK(universe() == other.universe());
+  for (int i = 0; i < universe(); ++i) {
+    if (bits_[i] && !other.bits_[i]) Erase(i);
+  }
+}
+
+void NodeSet::Complement() {
+  for (int i = 0; i < universe(); ++i) {
+    bits_[i] = bits_[i] ? 0 : 1;
+  }
+  count_ = universe() - count_;
+}
+
+std::vector<NodeId> NodeSet::ToVector() const {
+  std::vector<NodeId> out;
+  out.reserve(count_);
+  for (int i = 0; i < universe(); ++i) {
+    if (bits_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+NodeSet NodeSet::FromVector(int universe, const std::vector<NodeId>& nodes) {
+  NodeSet s(universe);
+  for (NodeId n : nodes) s.Insert(n);
+  return s;
+}
+
+NodeSet NodeSet::All(int universe) {
+  NodeSet s(universe);
+  for (NodeId n = 0; n < universe; ++n) s.Insert(n);
+  return s;
+}
+
+NodeSet NodeSet::Singleton(int universe, NodeId n) {
+  NodeSet s(universe);
+  s.Insert(n);
+  return s;
+}
+
+namespace {
+
+// Marks descendants of `from` nodes: one pre-order pass.
+void DescendantImage(const Tree& tree, const TreeOrders& orders,
+                     const NodeSet& from, bool include_self, NodeSet* to) {
+  for (int i = 0; i < orders.num_nodes(); ++i) {
+    NodeId v = orders.node_at_pre[i];
+    NodeId p = tree.parent(v);
+    if (include_self && from.Contains(v)) {
+      to->Insert(v);
+      continue;
+    }
+    if (p != kNullNode && (from.Contains(p) || to->Contains(p))) {
+      to->Insert(v);
+    }
+  }
+}
+
+// Marks ancestors of `from` nodes: one post-order pass.
+void AncestorImage(const Tree& tree, const TreeOrders& orders,
+                   const NodeSet& from, bool include_self, NodeSet* to) {
+  // has_in_subtree[v]: subtree of v contains a `from` node.
+  std::vector<char> has(orders.num_nodes(), 0);
+  for (int i = 0; i < orders.num_nodes(); ++i) {
+    NodeId v = orders.node_at_post[i];
+    char h = from.Contains(v) ? 1 : 0;
+    char child_has = 0;
+    for (NodeId c = tree.first_child(v); c != kNullNode;
+         c = tree.next_sibling(c)) {
+      child_has |= has[c];
+    }
+    has[v] = h | child_has;
+    if (child_has || (include_self && from.Contains(v))) to->Insert(v);
+  }
+}
+
+void SiblingChainImage(const Tree& tree, const NodeSet& from, bool forward,
+                       bool include_self, NodeSet* to) {
+  const int n = tree.num_nodes();
+  for (NodeId head = 0; head < n; ++head) {
+    if (!tree.IsFirstSibling(head)) continue;
+    // Collect the sibling chain once.
+    std::vector<NodeId> chain;
+    for (NodeId s = head; s != kNullNode; s = tree.next_sibling(s)) {
+      chain.push_back(s);
+    }
+    if (forward) {
+      bool flag = false;
+      for (NodeId s : chain) {
+        if (flag || (include_self && from.Contains(s))) to->Insert(s);
+        flag = flag || from.Contains(s);
+      }
+    } else {
+      bool flag = false;
+      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        if (flag || (include_self && from.Contains(*it))) to->Insert(*it);
+        flag = flag || from.Contains(*it);
+      }
+    }
+  }
+}
+
+// Siblings include the root (a one-element chain), which SiblingChainImage
+// visits because the root is a first sibling; following-sibling of the root
+// is empty, as required.
+
+}  // namespace
+
+void AxisImage(const Tree& tree, const TreeOrders& orders, Axis axis,
+               const NodeSet& from, NodeSet* to) {
+  const int n = tree.num_nodes();
+  TREEQ_CHECK(from.universe() == n && to->universe() == n);
+  to->Clear();
+  switch (axis) {
+    case Axis::kSelf:
+      *to = from;
+      return;
+    case Axis::kChild:
+      for (NodeId v = 0; v < n; ++v) {
+        NodeId p = tree.parent(v);
+        if (p != kNullNode && from.Contains(p)) to->Insert(v);
+      }
+      return;
+    case Axis::kParent:
+      for (NodeId v = 0; v < n; ++v) {
+        if (from.Contains(v) && tree.parent(v) != kNullNode) {
+          to->Insert(tree.parent(v));
+        }
+      }
+      return;
+    case Axis::kDescendant:
+      DescendantImage(tree, orders, from, /*include_self=*/false, to);
+      return;
+    case Axis::kDescendantOrSelf:
+      DescendantImage(tree, orders, from, /*include_self=*/true, to);
+      return;
+    case Axis::kAncestor:
+      AncestorImage(tree, orders, from, /*include_self=*/false, to);
+      return;
+    case Axis::kAncestorOrSelf:
+      AncestorImage(tree, orders, from, /*include_self=*/true, to);
+      return;
+    case Axis::kNextSibling:
+      for (NodeId v = 0; v < n; ++v) {
+        NodeId p = tree.prev_sibling(v);
+        if (p != kNullNode && from.Contains(p)) to->Insert(v);
+      }
+      return;
+    case Axis::kPrevSibling:
+      for (NodeId v = 0; v < n; ++v) {
+        NodeId s = tree.next_sibling(v);
+        if (s != kNullNode && from.Contains(s)) to->Insert(v);
+      }
+      return;
+    case Axis::kFollowingSibling:
+      SiblingChainImage(tree, from, /*forward=*/true, /*include_self=*/false,
+                        to);
+      return;
+    case Axis::kPrecedingSibling:
+      SiblingChainImage(tree, from, /*forward=*/false, /*include_self=*/false,
+                        to);
+      return;
+    case Axis::kFollowingSiblingOrSelf:
+      SiblingChainImage(tree, from, /*forward=*/true, /*include_self=*/true,
+                        to);
+      return;
+    case Axis::kPrecedingSiblingOrSelf:
+      SiblingChainImage(tree, from, /*forward=*/false, /*include_self=*/true,
+                        to);
+      return;
+    case Axis::kFollowing: {
+      if (from.empty()) return;
+      int threshold = n;  // pre rank from which nodes are in the image
+      for (NodeId u = 0; u < n; ++u) {
+        if (from.Contains(u)) {
+          threshold = std::min(threshold, orders.SubtreeEndPre(u));
+        }
+      }
+      for (int i = threshold; i < n; ++i) to->Insert(orders.node_at_pre[i]);
+      return;
+    }
+    case Axis::kPreceding: {
+      if (from.empty()) return;
+      int max_pre = -1;
+      for (NodeId v = 0; v < n; ++v) {
+        if (from.Contains(v)) max_pre = std::max(max_pre, orders.pre[v]);
+      }
+      for (NodeId u = 0; u < n; ++u) {
+        if (orders.SubtreeEndPre(u) <= max_pre) to->Insert(u);
+      }
+      return;
+    }
+    case Axis::kFirstChild:
+      for (NodeId v = 0; v < n; ++v) {
+        if (from.Contains(v) && tree.first_child(v) != kNullNode) {
+          to->Insert(tree.first_child(v));
+        }
+      }
+      return;
+    case Axis::kFirstChildInv:
+      for (NodeId v = 0; v < n; ++v) {
+        if (from.Contains(v) && tree.prev_sibling(v) == kNullNode &&
+            tree.parent(v) != kNullNode) {
+          to->Insert(tree.parent(v));
+        }
+      }
+      return;
+  }
+  TREEQ_CHECK(false);
+}
+
+std::vector<std::pair<NodeId, NodeId>> MaterializeAxis(
+    const Tree& tree, const TreeOrders& orders, Axis axis) {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  const int n = tree.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (AxisHolds(tree, orders, axis, u, v)) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace treeq

@@ -1,0 +1,138 @@
+#ifndef TREEQ_TREE_AXES_H_
+#define TREEQ_TREE_AXES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tree/orders.h"
+#include "tree/tree.h"
+#include "util/status.h"
+
+/// \file axes.h
+/// The binary tree navigation relations ("axes", Section 2): Child,
+/// Child+ (Descendant), Child* (Descendant-or-self), NextSibling,
+/// NextSibling+ (Following-Sibling), NextSibling*, Following, FirstChild and
+/// all their inverses, plus Self.
+///
+/// Two access paths are provided:
+///   - AxisHolds:  O(1) pair test using the (pre, post) characterizations;
+///   - AxisImage:  O(n) image of a node set under an axis, the workhorse of
+///     the set-at-a-time Core XPath evaluator and the tree-specialized
+///     semijoins (Sections 3, 4, 6).
+
+namespace treeq {
+
+/// All axes, closed under inverse.
+enum class Axis {
+  kSelf = 0,
+  kChild,                    // Child(u, v): v is a child of u
+  kParent,                   // inverse of Child
+  kDescendant,               // Child+
+  kAncestor,                 // inverse of Child+
+  kDescendantOrSelf,         // Child*
+  kAncestorOrSelf,           // inverse of Child*
+  kNextSibling,              // NextSibling(u, v): v immediately follows u
+  kPrevSibling,              // inverse of NextSibling
+  kFollowingSibling,         // NextSibling+
+  kPrecedingSibling,         // inverse of NextSibling+
+  kFollowingSiblingOrSelf,   // NextSibling*
+  kPrecedingSiblingOrSelf,   // inverse of NextSibling*
+  kFollowing,                // Following(u, v) per the paper's definition
+  kPreceding,                // inverse of Following
+  kFirstChild,               // FirstChild(u, v): v is the first child of u
+  kFirstChildInv,            // inverse of FirstChild
+};
+
+inline constexpr int kNumAxes = 17;
+
+/// Returns the inverse axis (kSelf is its own inverse).
+Axis InverseAxis(Axis axis);
+
+/// Canonical name, e.g. "child", "descendant", "following-sibling".
+const char* AxisName(Axis axis);
+
+/// Parses an axis name. Accepts both XPath-style names ("descendant",
+/// "following-sibling") and the paper's relational names ("Child+",
+/// "NextSibling*", "Following", "FirstChild").
+Result<Axis> ParseAxis(std::string_view name);
+
+/// True for Child+, Child*, NextSibling+, NextSibling*, Following and their
+/// inverses (used by the treewidth discussion and the rewriting engine).
+bool IsTransitiveAxis(Axis axis);
+
+/// True for the forward axes (Self, Child, Child+, Child*, NextSibling,
+/// NextSibling+, NextSibling*, Following, FirstChild) — the fragment a
+/// streaming evaluator can run (Section 5).
+bool IsForwardAxis(Axis axis);
+
+/// O(1) test whether Axis(u, v) holds. Requires `orders` computed from
+/// `tree`.
+bool AxisHolds(const Tree& tree, const TreeOrders& orders, Axis axis, NodeId u,
+               NodeId v);
+
+/// A set of nodes of one tree, stored as a bitmap with a size counter.
+class NodeSet {
+ public:
+  NodeSet() = default;
+  explicit NodeSet(int universe) : bits_(universe, 0) {}
+
+  int universe() const { return static_cast<int>(bits_.size()); }
+  int size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool Contains(NodeId n) const { return bits_[n] != 0; }
+
+  void Insert(NodeId n) {
+    if (!bits_[n]) {
+      bits_[n] = 1;
+      ++count_;
+    }
+  }
+  void Erase(NodeId n) {
+    if (bits_[n]) {
+      bits_[n] = 0;
+      --count_;
+    }
+  }
+  void Clear() {
+    std::fill(bits_.begin(), bits_.end(), 0);
+    count_ = 0;
+  }
+
+  /// In-place union / intersection with `other` (same universe).
+  void UnionWith(const NodeSet& other);
+  void IntersectWith(const NodeSet& other);
+  /// In-place complement relative to the universe.
+  void Complement();
+
+  bool operator==(const NodeSet& other) const { return bits_ == other.bits_; }
+
+  /// Members in increasing node-id order.
+  std::vector<NodeId> ToVector() const;
+
+  static NodeSet FromVector(int universe, const std::vector<NodeId>& nodes);
+
+  /// The full universe / a singleton.
+  static NodeSet All(int universe);
+  static NodeSet Singleton(int universe, NodeId n);
+
+ private:
+  std::vector<char> bits_;
+  int count_ = 0;
+};
+
+/// Computes `to` = { v : exists u in `from` with Axis(u, v) } in O(n) time
+/// regardless of |from| (Section 3's linear-time building block).
+void AxisImage(const Tree& tree, const TreeOrders& orders, Axis axis,
+               const NodeSet& from, NodeSet* to);
+
+/// All pairs (u, v) with Axis(u, v), in lexicographic (u, v) order. O(n^2)
+/// materialization — intended for tests, XASR-style storage, and small
+/// structures (this is exactly the quadratic blowup Section 2 warns about).
+std::vector<std::pair<NodeId, NodeId>> MaterializeAxis(const Tree& tree,
+                                                       const TreeOrders& orders,
+                                                       Axis axis);
+
+}  // namespace treeq
+
+#endif  // TREEQ_TREE_AXES_H_

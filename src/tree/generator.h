@@ -1,0 +1,66 @@
+#ifndef TREEQ_TREE_GENERATOR_H_
+#define TREEQ_TREE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/random.h"
+
+/// \file generator.h
+/// Synthetic tree/document generators. The paper's algorithms are evaluated
+/// on XML corpora we do not ship; these generators produce the same
+/// structural regimes (shallow-and-wide documents, deep chains, recursive
+/// documents, catalog-like records) so every benchmark exercises the code
+/// paths the paper discusses. See DESIGN.md for the substitution rationale.
+
+namespace treeq {
+
+/// Shape parameters for RandomTree.
+struct RandomTreeOptions {
+  int num_nodes = 100;
+  /// Bias toward depth: each new node's parent is drawn uniformly from the
+  /// `attach_window` most recently created nodes (1 = chain; num_nodes =
+  /// uniform recursive tree, depth ~ log n).
+  int attach_window = 8;
+  /// Labels drawn uniformly from this alphabet ("a", "b", ... by default).
+  std::vector<std::string> alphabet;
+  /// Probability that a node receives a second label (multi-label support).
+  double second_label_prob = 0.0;
+};
+
+/// A random tree with `options.num_nodes` nodes.
+Tree RandomTree(Rng* rng, const RandomTreeOptions& options);
+
+/// A path (chain) of n nodes, all labeled `label` unless `alternate` is set
+/// (then labels alternate label, label2, label, ...).
+Tree Chain(int n, const std::string& label = "a",
+           const std::string& alternate = "");
+
+/// A root with n-1 leaf children.
+Tree Star(int n, const std::string& root_label = "r",
+          const std::string& leaf_label = "a");
+
+/// A complete `fanout`-ary tree of the given depth (depth 0 = single node).
+/// All nodes labeled by their depth modulo the alphabet.
+Tree BalancedTree(int depth, int fanout, const std::vector<std::string>& alphabet);
+
+/// A caterpillar: a spine of `spine` nodes, each with `legs` leaf children.
+Tree Caterpillar(int spine, int legs, const std::string& spine_label = "s",
+                 const std::string& leg_label = "l");
+
+/// Shape parameters for CatalogDocument.
+struct CatalogOptions {
+  int num_products = 50;
+  int max_reviews = 4;
+  int max_paragraphs = 3;
+};
+
+/// A synthetic product-catalog document (XMark-flavored):
+/// catalog / product* / (name, price, desc/para*, reviews?/review*).
+/// Reviews carry a "rating" child whose label is one of rating1..rating5.
+Tree CatalogDocument(Rng* rng, const CatalogOptions& options);
+
+}  // namespace treeq
+
+#endif  // TREEQ_TREE_GENERATOR_H_

@@ -1,0 +1,64 @@
+#ifndef TREEQ_TREE_ORDERS_H_
+#define TREEQ_TREE_ORDERS_H_
+
+#include <vector>
+
+#include "tree/tree.h"
+
+/// \file orders.h
+/// The three total orders on tree nodes used throughout the paper
+/// (Section 2): pre-order `<pre` (document order), post-order `<post`, and
+/// breadth-first left-to-right order `<bflr`, plus depth and subtree size.
+///
+/// Indexes are 0-based: pre[n] == i means n is the (i+1)-th node in document
+/// order. The paper's characterizations hold verbatim:
+///   Child+(x, y)    iff  x <pre y  and  y <post x
+///   Following(x, y) iff  x <pre y  and  x <post y
+
+namespace treeq {
+
+/// Precomputed order indexes for a Tree. Build once with ComputeOrders; all
+/// axis tests and set operators take a const reference.
+struct TreeOrders {
+  /// pre[n], post[n], bflr[n]: rank of node n in the respective order.
+  std::vector<int> pre;
+  std::vector<int> post;
+  std::vector<int> bflr;
+  /// depth[n]: number of edges from the root.
+  std::vector<int> depth;
+  /// size[n]: number of nodes in the subtree rooted at n (including n).
+  std::vector<int> size;
+  /// Inverse permutations: node_at_pre[i] is the node with pre rank i.
+  std::vector<NodeId> node_at_pre;
+  std::vector<NodeId> node_at_post;
+  std::vector<NodeId> node_at_bflr;
+
+  int num_nodes() const { return static_cast<int>(pre.size()); }
+
+  /// The (pre, post, label) triple representation of Section 2: a node is
+  /// fully located in the tree by its pre and post ranks.
+  bool PreLess(NodeId a, NodeId b) const { return pre[a] < pre[b]; }
+  bool PostLess(NodeId a, NodeId b) const { return post[a] < post[b]; }
+  bool BflrLess(NodeId a, NodeId b) const { return bflr[a] < bflr[b]; }
+
+  /// Child+(a, b): b is a proper descendant of a. O(1).
+  bool IsProperAncestor(NodeId a, NodeId b) const {
+    return pre[a] < pre[b] && post[b] < post[a];
+  }
+
+  /// Following(a, b) per the paper's definition. O(1).
+  bool IsFollowing(NodeId a, NodeId b) const {
+    return pre[a] < pre[b] && post[a] < post[b];
+  }
+
+  /// Pre rank of the first node strictly after the subtree of n in document
+  /// order; nodes v with pre[v] >= SubtreeEndPre(n) are exactly Following(n).
+  int SubtreeEndPre(NodeId n) const { return pre[n] + size[n]; }
+};
+
+/// Computes all orders in O(n) (iterative traversals; safe for deep trees).
+TreeOrders ComputeOrders(const Tree& tree);
+
+}  // namespace treeq
+
+#endif  // TREEQ_TREE_ORDERS_H_

@@ -1,0 +1,184 @@
+#include "tree/treewidth.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+namespace treeq {
+
+void Graph::AddEdge(int u, int v) {
+  if (u == v) return;
+  if (!HasEdge(u, v)) {
+    adjacency[u].push_back(v);
+    adjacency[v].push_back(u);
+  }
+}
+
+bool Graph::HasEdge(int u, int v) const {
+  const std::vector<int>& adj = adjacency[u];
+  return std::find(adj.begin(), adj.end(), v) != adj.end();
+}
+
+int TreeDecomposition::Width() const {
+  int max_bag = 0;
+  for (const std::vector<int>& bag : bags) {
+    max_bag = std::max(max_bag, static_cast<int>(bag.size()));
+  }
+  return max_bag - 1;
+}
+
+Status VerifyDecomposition(const Graph& graph,
+                           const TreeDecomposition& decomposition) {
+  const int n = graph.num_vertices();
+  const int num_bags = static_cast<int>(decomposition.bags.size());
+  if (static_cast<int>(decomposition.parent.size()) != num_bags) {
+    return Status::InvalidArgument("parent array size mismatch");
+  }
+
+  // Condition 1: every vertex appears in some bag.
+  std::vector<std::vector<int>> bags_of(n);
+  for (int b = 0; b < num_bags; ++b) {
+    for (int v : decomposition.bags[b]) {
+      if (v < 0 || v >= n) {
+        return Status::InvalidArgument("bag contains out-of-range vertex");
+      }
+      bags_of[v].push_back(b);
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    if (bags_of[v].empty()) {
+      return Status::InvalidArgument("vertex " + std::to_string(v) +
+                                     " is in no bag");
+    }
+  }
+
+  // Condition 2: every edge is covered by some bag.
+  for (int u = 0; u < n; ++u) {
+    for (int v : graph.adjacency[u]) {
+      if (v < u) continue;
+      bool covered = false;
+      for (int b : bags_of[u]) {
+        const std::vector<int>& bag = decomposition.bags[b];
+        if (std::find(bag.begin(), bag.end(), v) != bag.end()) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        return Status::InvalidArgument("edge (" + std::to_string(u) + "," +
+                                       std::to_string(v) + ") uncovered");
+      }
+    }
+  }
+
+  // Condition 3: bags containing each vertex form a connected subtree.
+  // Count, for each vertex v, the bags containing v whose parent bag also
+  // contains v; connectivity holds iff exactly one bag of v lacks such a
+  // parent (the top of v's subtree).
+  for (int v = 0; v < n; ++v) {
+    int tops = 0;
+    for (int b : bags_of[v]) {
+      int p = decomposition.parent[b];
+      bool parent_has = false;
+      if (p != -1) {
+        const std::vector<int>& pbag = decomposition.bags[p];
+        parent_has = std::find(pbag.begin(), pbag.end(), v) != pbag.end();
+      }
+      if (!parent_has) ++tops;
+    }
+    if (tops != 1) {
+      return Status::InvalidArgument("vertex " + std::to_string(v) +
+                                     " induces a disconnected set of bags");
+    }
+  }
+  return Status::OK();
+}
+
+Graph ChildNextSiblingGraph(const Tree& tree) {
+  Graph graph(tree.num_nodes());
+  for (NodeId v = 0; v < tree.num_nodes(); ++v) {
+    if (tree.parent(v) != kNullNode) graph.AddEdge(tree.parent(v), v);
+    if (tree.next_sibling(v) != kNullNode) {
+      graph.AddEdge(v, tree.next_sibling(v));
+    }
+  }
+  return graph;
+}
+
+TreeDecomposition DecomposeChildNextSibling(const Tree& tree) {
+  const int n = tree.num_nodes();
+  TreeDecomposition d;
+  d.bags.resize(n);
+  d.parent.assign(n, -1);
+  // Bag i corresponds to tree node i: {v, parent(v), prev-sibling(v)}.
+  for (NodeId v = 0; v < n; ++v) {
+    d.bags[v].push_back(v);
+    if (tree.parent(v) != kNullNode) d.bags[v].push_back(tree.parent(v));
+    if (tree.prev_sibling(v) != kNullNode) {
+      d.bags[v].push_back(tree.prev_sibling(v));
+    }
+    // Attach along the FirstChild/NextSibling skeleton so that the bags
+    // containing any given node stay connected (see DESIGN.md / Figure 4).
+    if (tree.prev_sibling(v) != kNullNode) {
+      d.parent[v] = tree.prev_sibling(v);
+    } else if (tree.parent(v) != kNullNode) {
+      d.parent[v] = tree.parent(v);
+    }
+  }
+  return d;
+}
+
+TreeDecomposition GreedyDecompose(const Graph& graph) {
+  const int n = graph.num_vertices();
+  TreeDecomposition d;
+  if (n == 0) return d;
+
+  std::vector<std::set<int>> adj(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v : graph.adjacency[u]) adj[u].insert(v);
+  }
+  std::vector<bool> eliminated(n, false);
+  std::vector<int> elim_position(n, -1);
+  std::vector<int> bag_of_vertex(n, -1);
+
+  for (int step = 0; step < n; ++step) {
+    // Pick the unEliminated vertex of minimum current degree.
+    int best = -1;
+    for (int v = 0; v < n; ++v) {
+      if (eliminated[v]) continue;
+      if (best == -1 || adj[v].size() < adj[best].size()) best = v;
+    }
+    eliminated[best] = true;
+    elim_position[best] = step;
+    std::vector<int> bag = {best};
+    for (int w : adj[best]) bag.push_back(w);
+    // Fill-in: make the neighborhood a clique, then remove `best`.
+    for (int a : adj[best]) {
+      for (int b : adj[best]) {
+        if (a != b) adj[a].insert(b);
+      }
+      adj[a].erase(best);
+    }
+    bag_of_vertex[best] = static_cast<int>(d.bags.size());
+    d.bags.push_back(std::move(bag));
+    d.parent.push_back(-1);  // fixed up below
+  }
+
+  // Parent of v's bag: the bag of the neighbor (within v's bag) eliminated
+  // soonest after v; the last-eliminated vertex roots the tree.
+  for (int v = 0; v < n; ++v) {
+    int my_bag = bag_of_vertex[v];
+    int best_vertex = -1;
+    for (int w : d.bags[my_bag]) {
+      if (w == v) continue;
+      if (best_vertex == -1 ||
+          elim_position[w] < elim_position[best_vertex]) {
+        best_vertex = w;
+      }
+    }
+    if (best_vertex != -1) d.parent[my_bag] = bag_of_vertex[best_vertex];
+  }
+  return d;
+}
+
+}  // namespace treeq

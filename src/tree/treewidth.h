@@ -1,0 +1,65 @@
+#ifndef TREEQ_TREE_TREEWIDTH_H_
+#define TREEQ_TREE_TREEWIDTH_H_
+
+#include <vector>
+
+#include "tree/tree.h"
+#include "util/status.h"
+
+/// \file treewidth.h
+/// Tree decompositions (Section 4). Provides
+///   - a generic undirected graph + decomposition representation,
+///   - a verifier for the three tree-decomposition conditions,
+///   - the explicit width-2 decomposition of a (Child, NextSibling)-tree's
+///     union graph (Figure 4),
+///   - a min-degree greedy heuristic for arbitrary graphs (used on query
+///     graphs to bound the tree-width of conjunctive queries).
+
+namespace treeq {
+
+/// A simple undirected graph on vertices 0..n-1.
+struct Graph {
+  explicit Graph(int n) : adjacency(n) {}
+
+  int num_vertices() const { return static_cast<int>(adjacency.size()); }
+
+  /// Adds an undirected edge (self-loops and duplicates are ignored).
+  void AddEdge(int u, int v);
+
+  bool HasEdge(int u, int v) const;
+
+  std::vector<std::vector<int>> adjacency;
+};
+
+/// A tree decomposition (T, chi): bags[i] is chi of decomposition node i;
+/// `parent[i]` gives the decomposition tree (kNullNode for the root bag).
+struct TreeDecomposition {
+  std::vector<std::vector<int>> bags;
+  std::vector<int> parent;
+
+  /// max bag size - 1.
+  int Width() const;
+};
+
+/// Checks the three conditions of Section 4: every vertex covered, every
+/// edge covered by some bag, and every vertex's bags form a connected
+/// subtree. Returns OK or a description of the first violation.
+Status VerifyDecomposition(const Graph& graph,
+                           const TreeDecomposition& decomposition);
+
+/// The union graph of the Child and NextSibling relations of `tree`
+/// (Section 4: this graph has tree-width two).
+Graph ChildNextSiblingGraph(const Tree& tree);
+
+/// The explicit width-<=2 decomposition of ChildNextSiblingGraph(tree) from
+/// Figure 4: bag(v) = {v} ∪ {parent(v)} ∪ {prev-sibling(v)}, arranged along
+/// the FirstChild/NextSibling skeleton.
+TreeDecomposition DecomposeChildNextSibling(const Tree& tree);
+
+/// Greedy min-degree elimination heuristic for arbitrary graphs. Returns a
+/// valid decomposition whose width upper-bounds the tree-width.
+TreeDecomposition GreedyDecompose(const Graph& graph);
+
+}  // namespace treeq
+
+#endif  // TREEQ_TREE_TREEWIDTH_H_

@@ -1,0 +1,272 @@
+#include "tree/xml.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace treeq {
+
+namespace {
+
+/// Recursive-descent XML subset parser over a string_view.
+class XmlParser {
+ public:
+  XmlParser(std::string_view input, const XmlOptions& options)
+      : input_(input), options_(options) {}
+
+  Result<Tree> Parse() {
+    SkipMisc();
+    if (!AtTagOpen()) return Error("expected a root element");
+    TREEQ_RETURN_IF_ERROR(ParseElement());
+    SkipMisc();
+    if (pos_ != input_.size()) return Error("trailing content after root");
+    return builder_.Finish();
+  }
+
+ private:
+  bool Eof() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool AtTagOpen() const {
+    return !Eof() && Peek() == '<' && pos_ + 1 < input_.size() &&
+           (std::isalpha(static_cast<unsigned char>(input_[pos_ + 1])) ||
+            input_[pos_ + 1] == '_');
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  // Skips whitespace, comments, PIs, doctype, and the XML declaration.
+  void SkipMisc() {
+    for (;;) {
+      SkipWhitespace();
+      if (Eof() || Peek() != '<') return;
+      if (input_.substr(pos_).starts_with("<!--")) {
+        size_t end = input_.find("-->", pos_ + 4);
+        pos_ = (end == std::string_view::npos) ? input_.size() : end + 3;
+      } else if (input_.substr(pos_).starts_with("<?") ||
+                 input_.substr(pos_).starts_with("<!")) {
+        size_t end = input_.find('>', pos_);
+        pos_ = (end == std::string_view::npos) ? input_.size() : end + 1;
+      } else {
+        return;
+      }
+    }
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (!Eof() &&
+           (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_' ||
+            Peek() == '-' || Peek() == '.' || Peek() == ':')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Status::ParseError("expected a name");
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  static std::string DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] == '&') {
+        if (raw.substr(i).starts_with("&lt;")) {
+          out.push_back('<');
+          i += 4;
+          continue;
+        }
+        if (raw.substr(i).starts_with("&gt;")) {
+          out.push_back('>');
+          i += 4;
+          continue;
+        }
+        if (raw.substr(i).starts_with("&amp;")) {
+          out.push_back('&');
+          i += 5;
+          continue;
+        }
+        if (raw.substr(i).starts_with("&quot;")) {
+          out.push_back('"');
+          i += 6;
+          continue;
+        }
+        if (raw.substr(i).starts_with("&apos;")) {
+          out.push_back('\'');
+          i += 6;
+          continue;
+        }
+      }
+      out.push_back(raw[i]);
+      ++i;
+    }
+    return out;
+  }
+
+  Status ParseElement() {
+    TREEQ_CHECK(Peek() == '<');
+    ++pos_;
+    TREEQ_ASSIGN_OR_RETURN(std::string tag, ParseName());
+    NodeId node = builder_.BeginNode(tag);
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (Eof()) return Error("unexpected end inside tag <" + tag);
+      if (Peek() == '>' || Peek() == '/') break;
+      TREEQ_ASSIGN_OR_RETURN(std::string attr, ParseName());
+      SkipWhitespace();
+      if (Eof() || Peek() != '=') return Error("expected '=' after attribute");
+      ++pos_;
+      SkipWhitespace();
+      if (Eof() || (Peek() != '"' && Peek() != '\'')) {
+        return Error("expected a quoted attribute value");
+      }
+      char quote = Peek();
+      ++pos_;
+      size_t start = pos_;
+      while (!Eof() && Peek() != quote) ++pos_;
+      if (Eof()) return Error("unterminated attribute value");
+      std::string value = DecodeEntities(input_.substr(start, pos_ - start));
+      ++pos_;
+      builder_.AddLabel(node, "@" + attr);
+      builder_.AddLabel(node, "@" + attr + "=" + value);
+    }
+    if (Peek() == '/') {
+      ++pos_;
+      if (Eof() || Peek() != '>') return Error("expected '>' after '/'");
+      ++pos_;
+      builder_.EndNode();
+      return Status::OK();
+    }
+    ++pos_;  // consume '>'
+    // Content.
+    for (;;) {
+      size_t text_start = pos_;
+      while (!Eof() && Peek() != '<') ++pos_;
+      if (options_.keep_text) {
+        std::string text =
+            DecodeEntities(input_.substr(text_start, pos_ - text_start));
+        bool all_space = true;
+        for (char c : text) {
+          if (!std::isspace(static_cast<unsigned char>(c))) all_space = false;
+        }
+        if (!all_space) {
+          NodeId t = builder_.BeginNode("#text");
+          builder_.AddLabel(t, "#text=" + text);
+          builder_.EndNode();
+        }
+      }
+      if (Eof()) return Error("unexpected end inside <" + tag + ">");
+      if (input_.substr(pos_).starts_with("</")) {
+        pos_ += 2;
+        TREEQ_ASSIGN_OR_RETURN(std::string close, ParseName());
+        if (close != tag) {
+          return Error("mismatched close tag </" + close + "> for <" + tag +
+                       ">");
+        }
+        SkipWhitespace();
+        if (Eof() || Peek() != '>') return Error("expected '>' in close tag");
+        ++pos_;
+        builder_.EndNode();
+        return Status::OK();
+      }
+      if (input_.substr(pos_).starts_with("<!--") ||
+          input_.substr(pos_).starts_with("<?") ||
+          input_.substr(pos_).starts_with("<!")) {
+        SkipMisc();
+        continue;
+      }
+      if (AtTagOpen()) {
+        TREEQ_RETURN_IF_ERROR(ParseElement());
+        continue;
+      }
+      return Error("unexpected '<'");
+    }
+  }
+
+  std::string_view input_;
+  XmlOptions options_;
+  size_t pos_ = 0;
+  TreeBuilder builder_;
+};
+
+std::string EncodeEntities(std::string_view raw) {
+  std::string out;
+  for (char c : raw) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void WriteNode(const Tree& tree, NodeId n, std::string* out) {
+  const LabelTable& labels = tree.label_table();
+  const std::string& tag = labels.Name(tree.labels(n)[0]);
+  if (tag == "#text") {
+    for (LabelId l : tree.labels(n)) {
+      const std::string& name = labels.Name(l);
+      if (name.starts_with("#text=")) {
+        out->append(EncodeEntities(name.substr(6)));
+        return;
+      }
+    }
+    return;
+  }
+  out->push_back('<');
+  out->append(tag);
+  for (size_t i = 1; i < tree.labels(n).size(); ++i) {
+    const std::string& name = labels.Name(tree.labels(n)[i]);
+    if (!name.starts_with("@")) continue;
+    size_t eq = name.find('=');
+    if (eq == std::string::npos) continue;  // bare "@a" marker label
+    out->push_back(' ');
+    out->append(name.substr(1, eq - 1));
+    out->append("=\"");
+    out->append(EncodeEntities(name.substr(eq + 1)));
+    out->push_back('"');
+  }
+  if (tree.first_child(n) == kNullNode) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  for (NodeId c = tree.first_child(n); c != kNullNode;
+       c = tree.next_sibling(c)) {
+    WriteNode(tree, c, out);
+  }
+  out->append("</");
+  out->append(tag);
+  out->push_back('>');
+}
+
+}  // namespace
+
+Result<Tree> ParseXml(std::string_view input, const XmlOptions& options) {
+  XmlParser parser(input, options);
+  return parser.Parse();
+}
+
+std::string WriteXml(const Tree& tree) {
+  std::string out;
+  WriteNode(tree, tree.root(), &out);
+  return out;
+}
+
+}  // namespace treeq

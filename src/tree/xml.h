@@ -1,0 +1,39 @@
+#ifndef TREEQ_TREE_XML_H_
+#define TREEQ_TREE_XML_H_
+
+#include <string>
+#include <string_view>
+
+#include "tree/tree.h"
+#include "util/status.h"
+
+/// \file xml.h
+/// A small XML 1.0 subset reader/writer. Queries in this library only see
+/// the navigational structure ("the bare tree structures of the parse trees
+/// of XML documents", Section 2), so the parser maps:
+///   - each element to a node labeled with its tag name,
+///   - each attribute `a="v"` to two extra labels on that node: "@a" and
+///     "@a=v" (exercising multi-label nodes),
+///   - text content to child nodes labeled "#text" when
+///     XmlOptions::keep_text is set, and to nothing otherwise.
+/// Comments, processing instructions, and the XML declaration are skipped.
+
+namespace treeq {
+
+struct XmlOptions {
+  /// Keep non-whitespace text content as "#text"-labeled leaf children.
+  bool keep_text = false;
+};
+
+/// Parses `input` into a Tree. Returns ParseError with a position on
+/// malformed input.
+Result<Tree> ParseXml(std::string_view input, const XmlOptions& options = {});
+
+/// Serializes a tree back to XML using each node's first label as the tag
+/// (attribute/"#text" labels are rendered appropriately). Inverse of
+/// ParseXml up to whitespace.
+std::string WriteXml(const Tree& tree);
+
+}  // namespace treeq
+
+#endif  // TREEQ_TREE_XML_H_

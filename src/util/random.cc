@@ -1,0 +1,32 @@
+#include "util/random.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace treeq {
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  TREEQ_CHECK(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformReal() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(std::clamp(p, 0.0, 1.0));
+  return dist(engine_);
+}
+
+int Rng::Fanout(double mean_fanout, int cap) {
+  TREEQ_CHECK(mean_fanout > 0.0 && cap >= 1);
+  // Geometric with success probability 1/(1+mean) has mean `mean_fanout`.
+  std::geometric_distribution<int> dist(1.0 / (1.0 + mean_fanout));
+  return std::min(dist(engine_), cap);
+}
+
+}  // namespace treeq

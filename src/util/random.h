@@ -1,0 +1,40 @@
+#ifndef TREEQ_UTIL_RANDOM_H_
+#define TREEQ_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+/// \file random.h
+/// Deterministic random number generation used by the tree/query generators
+/// and the property tests. All randomness in treeq flows through `Rng` so
+/// tests are reproducible from a seed.
+
+namespace treeq {
+
+/// A seeded pseudo-random source (Mersenne Twister under the hood).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformReal();
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p);
+
+  /// Geometric-ish fanout draw: number of children with mean roughly
+  /// `mean_fanout`, capped at `cap`.
+  int Fanout(double mean_fanout, int cap);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace treeq
+
+#endif  // TREEQ_UTIL_RANDOM_H_

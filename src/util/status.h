@@ -1,0 +1,143 @@
+#ifndef TREEQ_UTIL_STATUS_H_
+#define TREEQ_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <utility>
+
+/// \file status.h
+/// Error handling for treeq. Library code does not throw exceptions; fallible
+/// operations return a `Status` or a `Result<T>` (a value-or-status sum),
+/// following the Arrow/RocksDB idiom.
+
+namespace treeq {
+
+/// Machine-readable category of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotFound,
+  kUnsupported,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` ("OK", "InvalidArgument",
+/// ...).
+const char* StatusCodeName(StatusCode code);
+
+/// An OK-or-error outcome with an optional message. Cheap to copy when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status. Accessing the value of an errored
+/// Result is a programmer error and aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so functions can `return value;` and `return status;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      std::cerr << "Result constructed from OK status\n";
+      std::abort();
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result::value() on error: " << status_.ToString() << "\n";
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace treeq
+
+/// Propagates a non-OK Status from the enclosing function.
+#define TREEQ_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::treeq::Status _treeq_status = (expr);  \
+    if (!_treeq_status.ok()) return _treeq_status; \
+  } while (0)
+
+#define TREEQ_CONCAT_IMPL(a, b) a##b
+#define TREEQ_CONCAT(a, b) TREEQ_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>), propagating an error or binding the value
+/// to `lhs`.
+#define TREEQ_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto TREEQ_CONCAT(_treeq_result_, __LINE__) = (rexpr);          \
+  if (!TREEQ_CONCAT(_treeq_result_, __LINE__).ok())               \
+    return TREEQ_CONCAT(_treeq_result_, __LINE__).status();       \
+  lhs = std::move(TREEQ_CONCAT(_treeq_result_, __LINE__)).value()
+
+/// Aborts with a message if `cond` is false. For invariants that indicate a
+/// bug in treeq itself (not bad user input).
+#define TREEQ_CHECK(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::cerr << "TREEQ_CHECK failed at " << __FILE__ << ":" << __LINE__ \
+                << ": " #cond "\n";                                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // TREEQ_UTIL_STATUS_H_

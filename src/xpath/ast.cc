@@ -1,0 +1,249 @@
+#include "xpath/ast.h"
+
+#include "util/status.h"
+
+namespace treeq {
+namespace xpath {
+
+std::unique_ptr<PathExpr> PathExpr::MakeStep(Axis axis) {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = Kind::kStep;
+  p->axis = axis;
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::MakeSeq(std::unique_ptr<PathExpr> l,
+                                            std::unique_ptr<PathExpr> r) {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = Kind::kSeq;
+  p->left = std::move(l);
+  p->right = std::move(r);
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::MakeUnion(std::unique_ptr<PathExpr> l,
+                                              std::unique_ptr<PathExpr> r) {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = Kind::kUnion;
+  p->left = std::move(l);
+  p->right = std::move(r);
+  return p;
+}
+
+std::unique_ptr<PathExpr> PathExpr::Clone() const {
+  auto p = std::make_unique<PathExpr>();
+  p->kind = kind;
+  p->axis = axis;
+  for (const auto& q : qualifiers) p->qualifiers.push_back(q->Clone());
+  if (left != nullptr) p->left = left->Clone();
+  if (right != nullptr) p->right = right->Clone();
+  return p;
+}
+
+std::unique_ptr<Qualifier> Qualifier::MakePath(std::unique_ptr<PathExpr> p) {
+  auto q = std::make_unique<Qualifier>();
+  q->kind = Kind::kPath;
+  q->path = std::move(p);
+  return q;
+}
+
+std::unique_ptr<Qualifier> Qualifier::MakeLabel(std::string label) {
+  auto q = std::make_unique<Qualifier>();
+  q->kind = Kind::kLabel;
+  q->label = std::move(label);
+  return q;
+}
+
+std::unique_ptr<Qualifier> Qualifier::MakeAnd(std::unique_ptr<Qualifier> l,
+                                              std::unique_ptr<Qualifier> r) {
+  auto q = std::make_unique<Qualifier>();
+  q->kind = Kind::kAnd;
+  q->left = std::move(l);
+  q->right = std::move(r);
+  return q;
+}
+
+std::unique_ptr<Qualifier> Qualifier::MakeOr(std::unique_ptr<Qualifier> l,
+                                             std::unique_ptr<Qualifier> r) {
+  auto q = std::make_unique<Qualifier>();
+  q->kind = Kind::kOr;
+  q->left = std::move(l);
+  q->right = std::move(r);
+  return q;
+}
+
+std::unique_ptr<Qualifier> Qualifier::MakeNot(std::unique_ptr<Qualifier> inner) {
+  auto q = std::make_unique<Qualifier>();
+  q->kind = Kind::kNot;
+  q->left = std::move(inner);
+  return q;
+}
+
+std::unique_ptr<Qualifier> Qualifier::Clone() const {
+  auto q = std::make_unique<Qualifier>();
+  q->kind = kind;
+  q->label = label;
+  if (path != nullptr) q->path = path->Clone();
+  if (left != nullptr) q->left = left->Clone();
+  if (right != nullptr) q->right = right->Clone();
+  return q;
+}
+
+int PathSize(const PathExpr& p) {
+  switch (p.kind) {
+    case PathExpr::Kind::kStep: {
+      int size = 1;
+      for (const auto& q : p.qualifiers) size += QualifierSize(*q);
+      return size;
+    }
+    case PathExpr::Kind::kSeq:
+    case PathExpr::Kind::kUnion:
+      return 1 + PathSize(*p.left) + PathSize(*p.right);
+  }
+  return 0;
+}
+
+int QualifierSize(const Qualifier& q) {
+  switch (q.kind) {
+    case Qualifier::Kind::kPath:
+      return 1 + PathSize(*q.path);
+    case Qualifier::Kind::kLabel:
+      return 1;
+    case Qualifier::Kind::kAnd:
+    case Qualifier::Kind::kOr:
+      return 1 + QualifierSize(*q.left) + QualifierSize(*q.right);
+    case Qualifier::Kind::kNot:
+      return 1 + QualifierSize(*q.left);
+  }
+  return 0;
+}
+
+namespace {
+
+bool QualIsPositive(const Qualifier& q) {
+  switch (q.kind) {
+    case Qualifier::Kind::kPath:
+      return IsPositive(*q.path);
+    case Qualifier::Kind::kLabel:
+      return true;
+    case Qualifier::Kind::kAnd:
+    case Qualifier::Kind::kOr:
+      return QualIsPositive(*q.left) && QualIsPositive(*q.right);
+    case Qualifier::Kind::kNot:
+      return false;
+  }
+  return false;
+}
+
+bool QualIsConjunctive(const Qualifier& q) {
+  switch (q.kind) {
+    case Qualifier::Kind::kPath:
+      return IsConjunctive(*q.path);
+    case Qualifier::Kind::kLabel:
+      return true;
+    case Qualifier::Kind::kAnd:
+      return QualIsConjunctive(*q.left) && QualIsConjunctive(*q.right);
+    case Qualifier::Kind::kOr:
+    case Qualifier::Kind::kNot:
+      return false;
+  }
+  return false;
+}
+
+bool QualIsForward(const Qualifier& q) {
+  switch (q.kind) {
+    case Qualifier::Kind::kPath:
+      return IsForward(*q.path);
+    case Qualifier::Kind::kLabel:
+      return true;
+    case Qualifier::Kind::kAnd:
+    case Qualifier::Kind::kOr:
+      return QualIsForward(*q.left) && QualIsForward(*q.right);
+    case Qualifier::Kind::kNot:
+      return QualIsForward(*q.left);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsPositive(const PathExpr& p) {
+  switch (p.kind) {
+    case PathExpr::Kind::kStep:
+      for (const auto& q : p.qualifiers) {
+        if (!QualIsPositive(*q)) return false;
+      }
+      return true;
+    case PathExpr::Kind::kSeq:
+    case PathExpr::Kind::kUnion:
+      return IsPositive(*p.left) && IsPositive(*p.right);
+  }
+  return false;
+}
+
+bool IsConjunctive(const PathExpr& p) {
+  switch (p.kind) {
+    case PathExpr::Kind::kStep:
+      for (const auto& q : p.qualifiers) {
+        if (!QualIsConjunctive(*q)) return false;
+      }
+      return true;
+    case PathExpr::Kind::kSeq:
+      return IsConjunctive(*p.left) && IsConjunctive(*p.right);
+    case PathExpr::Kind::kUnion:
+      return false;
+  }
+  return false;
+}
+
+bool IsForward(const PathExpr& p) {
+  switch (p.kind) {
+    case PathExpr::Kind::kStep:
+      if (!IsForwardAxis(p.axis)) return false;
+      for (const auto& q : p.qualifiers) {
+        if (!QualIsForward(*q)) return false;
+      }
+      return true;
+    case PathExpr::Kind::kSeq:
+    case PathExpr::Kind::kUnion:
+      return IsForward(*p.left) && IsForward(*p.right);
+  }
+  return false;
+}
+
+std::string ToString(const PathExpr& p) {
+  switch (p.kind) {
+    case PathExpr::Kind::kStep: {
+      std::string out = AxisName(p.axis);
+      out += "::*";
+      for (const auto& q : p.qualifiers) {
+        out += "[" + ToString(*q) + "]";
+      }
+      return out;
+    }
+    case PathExpr::Kind::kSeq:
+      return ToString(*p.left) + "/" + ToString(*p.right);
+    case PathExpr::Kind::kUnion:
+      return "(" + ToString(*p.left) + " | " + ToString(*p.right) + ")";
+  }
+  return "";
+}
+
+std::string ToString(const Qualifier& q) {
+  switch (q.kind) {
+    case Qualifier::Kind::kPath:
+      return ToString(*q.path);
+    case Qualifier::Kind::kLabel:
+      return "lab() = \"" + q.label + "\"";
+    case Qualifier::Kind::kAnd:
+      return "(" + ToString(*q.left) + " and " + ToString(*q.right) + ")";
+    case Qualifier::Kind::kOr:
+      return "(" + ToString(*q.left) + " or " + ToString(*q.right) + ")";
+    case Qualifier::Kind::kNot:
+      return "not(" + ToString(*q.left) + ")";
+  }
+  return "";
+}
+
+}  // namespace xpath
+}  // namespace treeq

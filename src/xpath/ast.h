@@ -1,0 +1,98 @@
+#ifndef TREEQ_XPATH_AST_H_
+#define TREEQ_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tree/axes.h"
+
+/// \file ast.h
+/// Core XPath (Section 3), the navigational fragment of XPath:
+///
+///   p    ::= step | p/p | p ∪ p
+///   step ::= axis | step[q]
+///   axis ::= arel | arel^-1 | Self
+///   q    ::= p | lab() = L | q ∧ q | q ∨ q | ¬q
+///
+/// A unary Core XPath query is [[p]]_NodeSet(root).
+
+namespace treeq {
+namespace xpath {
+
+struct Qualifier;
+
+/// A path expression.
+struct PathExpr {
+  enum class Kind {
+    kStep,   // axis with qualifiers
+    kSeq,    // left / right
+    kUnion,  // left ∪ right
+  };
+
+  Kind kind = Kind::kStep;
+
+  // kStep:
+  Axis axis = Axis::kSelf;
+  std::vector<std::unique_ptr<Qualifier>> qualifiers;
+
+  // kSeq / kUnion:
+  std::unique_ptr<PathExpr> left;
+  std::unique_ptr<PathExpr> right;
+
+  static std::unique_ptr<PathExpr> MakeStep(Axis axis);
+  static std::unique_ptr<PathExpr> MakeSeq(std::unique_ptr<PathExpr> l,
+                                           std::unique_ptr<PathExpr> r);
+  static std::unique_ptr<PathExpr> MakeUnion(std::unique_ptr<PathExpr> l,
+                                             std::unique_ptr<PathExpr> r);
+
+  std::unique_ptr<PathExpr> Clone() const;
+};
+
+/// A qualifier (Boolean-valued expression over a context node).
+struct Qualifier {
+  enum class Kind {
+    kPath,   // existential path test
+    kLabel,  // lab() = L
+    kAnd,
+    kOr,
+    kNot,  // uses `left` only
+  };
+
+  Kind kind = Kind::kLabel;
+  std::unique_ptr<PathExpr> path;  // kPath
+  std::string label;               // kLabel
+  std::unique_ptr<Qualifier> left;
+  std::unique_ptr<Qualifier> right;
+
+  static std::unique_ptr<Qualifier> MakePath(std::unique_ptr<PathExpr> p);
+  static std::unique_ptr<Qualifier> MakeLabel(std::string label);
+  static std::unique_ptr<Qualifier> MakeAnd(std::unique_ptr<Qualifier> l,
+                                            std::unique_ptr<Qualifier> r);
+  static std::unique_ptr<Qualifier> MakeOr(std::unique_ptr<Qualifier> l,
+                                           std::unique_ptr<Qualifier> r);
+  static std::unique_ptr<Qualifier> MakeNot(std::unique_ptr<Qualifier> q);
+
+  std::unique_ptr<Qualifier> Clone() const;
+};
+
+/// Number of AST nodes (the |Q| in the complexity statements).
+int PathSize(const PathExpr& p);
+int QualifierSize(const Qualifier& q);
+
+/// True iff the expression uses neither kNot (positive Core XPath) ...
+bool IsPositive(const PathExpr& p);
+/// ... nor kOr/kUnion on top of that (conjunctive Core XPath).
+bool IsConjunctive(const PathExpr& p);
+
+/// True iff every axis in the expression is a forward axis (Section 5).
+bool IsForward(const PathExpr& p);
+
+/// Concrete-syntax rendering, reparseable by ParseXPath.
+std::string ToString(const PathExpr& p);
+std::string ToString(const Qualifier& q);
+
+}  // namespace xpath
+}  // namespace treeq
+
+#endif  // TREEQ_XPATH_AST_H_

@@ -1,0 +1,116 @@
+#include "xpath/evaluator.h"
+
+namespace treeq {
+namespace xpath {
+
+namespace {
+
+/// Intersection of the step's qualifier sets with `set`, in place.
+void ApplyQualifiers(const Tree& tree, const TreeOrders& orders,
+                     const PathExpr& step, NodeSet* set) {
+  for (const auto& q : step.qualifiers) {
+    NodeSet b = EvalQualifier(tree, orders, *q);
+    set->IntersectWith(b);
+  }
+}
+
+}  // namespace
+
+NodeSet EvalPath(const Tree& tree, const TreeOrders& orders,
+                 const PathExpr& path, const NodeSet& context) {
+  const int n = tree.num_nodes();
+  switch (path.kind) {
+    case PathExpr::Kind::kStep: {
+      NodeSet out(n);
+      AxisImage(tree, orders, path.axis, context, &out);
+      ApplyQualifiers(tree, orders, path, &out);
+      return out;
+    }
+    case PathExpr::Kind::kSeq: {
+      NodeSet mid = EvalPath(tree, orders, *path.left, context);
+      return EvalPath(tree, orders, *path.right, mid);
+    }
+    case PathExpr::Kind::kUnion: {
+      NodeSet out = EvalPath(tree, orders, *path.left, context);
+      NodeSet rhs = EvalPath(tree, orders, *path.right, context);
+      out.UnionWith(rhs);
+      return out;
+    }
+  }
+  TREEQ_CHECK(false);
+  return NodeSet(n);
+}
+
+NodeSet EvalQualifier(const Tree& tree, const TreeOrders& orders,
+                      const Qualifier& q) {
+  const int n = tree.num_nodes();
+  switch (q.kind) {
+    case Qualifier::Kind::kPath:
+      return EvalPathExists(tree, orders, *q.path, NodeSet::All(n));
+    case Qualifier::Kind::kLabel: {
+      NodeSet out(n);
+      LabelId label = tree.label_table().Lookup(q.label);
+      if (label == kNullLabel) return out;
+      for (NodeId v = 0; v < n; ++v) {
+        if (tree.HasLabel(v, label)) out.Insert(v);
+      }
+      return out;
+    }
+    case Qualifier::Kind::kAnd: {
+      NodeSet out = EvalQualifier(tree, orders, *q.left);
+      NodeSet rhs = EvalQualifier(tree, orders, *q.right);
+      out.IntersectWith(rhs);
+      return out;
+    }
+    case Qualifier::Kind::kOr: {
+      NodeSet out = EvalQualifier(tree, orders, *q.left);
+      NodeSet rhs = EvalQualifier(tree, orders, *q.right);
+      out.UnionWith(rhs);
+      return out;
+    }
+    case Qualifier::Kind::kNot: {
+      NodeSet out = EvalQualifier(tree, orders, *q.left);
+      out.Complement();
+      return out;
+    }
+  }
+  TREEQ_CHECK(false);
+  return NodeSet(n);
+}
+
+NodeSet EvalPathExists(const Tree& tree, const TreeOrders& orders,
+                       const PathExpr& path, const NodeSet& target) {
+  const int n = tree.num_nodes();
+  switch (path.kind) {
+    case PathExpr::Kind::kStep: {
+      // n reaches the target via this step iff some node in
+      // target ∩ (qualifier sets) is an axis-successor of n.
+      NodeSet restricted = target;
+      ApplyQualifiers(tree, orders, path, &restricted);
+      NodeSet out(n);
+      AxisImage(tree, orders, InverseAxis(path.axis), restricted, &out);
+      return out;
+    }
+    case PathExpr::Kind::kSeq: {
+      NodeSet mid = EvalPathExists(tree, orders, *path.right, target);
+      return EvalPathExists(tree, orders, *path.left, mid);
+    }
+    case PathExpr::Kind::kUnion: {
+      NodeSet out = EvalPathExists(tree, orders, *path.left, target);
+      NodeSet rhs = EvalPathExists(tree, orders, *path.right, target);
+      out.UnionWith(rhs);
+      return out;
+    }
+  }
+  TREEQ_CHECK(false);
+  return NodeSet(n);
+}
+
+NodeSet EvalQueryFromRoot(const Tree& tree, const TreeOrders& orders,
+                          const PathExpr& path) {
+  return EvalPath(tree, orders, path,
+                  NodeSet::Singleton(tree.num_nodes(), tree.root()));
+}
+
+}  // namespace xpath
+}  // namespace treeq

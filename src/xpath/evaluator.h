@@ -1,0 +1,45 @@
+#ifndef TREEQ_XPATH_EVALUATOR_H_
+#define TREEQ_XPATH_EVALUATOR_H_
+
+#include "tree/axes.h"
+#include "tree/orders.h"
+#include "tree/tree.h"
+#include "xpath/ast.h"
+
+/// \file evaluator.h
+/// Set-at-a-time Core XPath evaluation in time O(|D| * |Q|) (data *and*
+/// combined complexity) in the style of Gottlob-Koch-Pichler [32, 33]:
+/// every subexpression of the query is evaluated exactly once, on whole
+/// node sets, using the O(|D|) axis set operators of tree/axes.h.
+///
+///  - a path applied forward maps a context set to a result set;
+///  - a qualifier denotes one node set B(q) = {n : [[q]](n) = true};
+///  - an existential path test is evaluated *backward*: the set of nodes
+///    from which the path can reach a target set is an inverse-axis image
+///    chain. Negation is set complement.
+
+namespace treeq {
+namespace xpath {
+
+/// All nodes reachable from `context` via `path`:
+/// union over n in context of [[path]]_NodeSet(n).
+NodeSet EvalPath(const Tree& tree, const TreeOrders& orders,
+                 const PathExpr& path, const NodeSet& context);
+
+/// The set B(q) of nodes satisfying the qualifier.
+NodeSet EvalQualifier(const Tree& tree, const TreeOrders& orders,
+                      const Qualifier& q);
+
+/// {n : [[path]](n) intersects `target`} — the backward image used for
+/// qualifier paths.
+NodeSet EvalPathExists(const Tree& tree, const TreeOrders& orders,
+                       const PathExpr& path, const NodeSet& target);
+
+/// The unary Core XPath query [[path]](root) (Section 3).
+NodeSet EvalQueryFromRoot(const Tree& tree, const TreeOrders& orders,
+                          const PathExpr& path);
+
+}  // namespace xpath
+}  // namespace treeq
+
+#endif  // TREEQ_XPATH_EVALUATOR_H_

@@ -1,0 +1,260 @@
+#include "xpath/parser.h"
+
+#include <cctype>
+#include <string>
+
+namespace treeq {
+namespace xpath {
+namespace {
+
+class XPathParser {
+ public:
+  explicit XPathParser(std::string_view input) : input_(input) {}
+
+  Result<std::unique_ptr<PathExpr>> Parse() {
+    Skip();
+    bool absolute = false;
+    bool initial_descendant = false;
+    if (Match("//")) {
+      absolute = true;
+      initial_descendant = true;
+    } else if (Match("/")) {
+      absolute = true;
+    }
+    TREEQ_ASSIGN_OR_RETURN(
+        std::unique_ptr<PathExpr> path,
+        ParseUnion(/*anchor_first_step=*/absolute && !initial_descendant));
+    if (initial_descendant) {
+      path = PathExpr::MakeSeq(PathExpr::MakeStep(Axis::kDescendantOrSelf),
+                               std::move(path));
+    }
+    Skip();
+    if (!Eof()) return Error("trailing input");
+    return path;
+  }
+
+ private:
+  bool Eof() const { return pos_ >= input_.size(); }
+  char Peek() const { return Eof() ? '\0' : input_[pos_]; }
+
+  void Skip() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) ++pos_;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(pos_));
+  }
+
+  /// Consumes `token` (after whitespace) if present.
+  bool Match(std::string_view token) {
+    Skip();
+    if (input_.substr(pos_).starts_with(token)) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  /// Consumes a keyword: like Match but must not be followed by a name char.
+  bool MatchWord(std::string_view word) {
+    Skip();
+    if (!input_.substr(pos_).starts_with(word)) return false;
+    size_t end = pos_ + word.size();
+    if (end < input_.size() && IsNameChar(input_[end])) return false;
+    pos_ = end;
+    return true;
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '+' || c == '*' || c == '#' || c == '@' ||
+           c == '=';
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '#' || c == '@';
+  }
+
+  Result<std::string> ParseName() {
+    Skip();
+    if (Eof() || !IsNameStart(Peek())) return Error("expected a name");
+    size_t start = pos_;
+    while (!Eof() && IsNameChar(Peek())) ++pos_;
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> ParseLabelOperand() {
+    Skip();
+    if (Peek() == '"') {
+      ++pos_;
+      size_t start = pos_;
+      while (!Eof() && Peek() != '"') ++pos_;
+      if (Eof()) return Error("unterminated string");
+      std::string s(input_.substr(start, pos_ - start));
+      ++pos_;
+      return s;
+    }
+    return ParseName();
+  }
+
+  Result<std::unique_ptr<PathExpr>> ParseUnion(bool anchor_first_step) {
+    TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> left,
+                           ParseSeq(anchor_first_step));
+    while (Match("|")) {
+      TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> right,
+                             ParseSeq(anchor_first_step));
+      left = PathExpr::MakeUnion(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<PathExpr>> ParseSeq(bool anchor_first_step) {
+    std::unique_ptr<PathExpr> left;
+    if (Match("//")) {
+      // A "//"-prefixed branch (e.g. inside "(//a | //b)"): treat as
+      // descendant-or-self from the context.
+      TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> first,
+                             ParseStep(/*anchored=*/false));
+      left = PathExpr::MakeSeq(PathExpr::MakeStep(Axis::kDescendantOrSelf),
+                               std::move(first));
+    } else {
+      TREEQ_ASSIGN_OR_RETURN(left, ParseStep(anchor_first_step));
+    }
+    return ParseSeqTail(std::move(left));
+  }
+
+  Result<std::unique_ptr<PathExpr>> ParseSeqTail(
+      std::unique_ptr<PathExpr> left) {
+    for (;;) {
+      if (Match("//")) {
+        TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> right,
+                               ParseStep(/*anchored=*/false));
+        left = PathExpr::MakeSeq(
+            std::move(left),
+            PathExpr::MakeSeq(PathExpr::MakeStep(Axis::kDescendantOrSelf),
+                              std::move(right)));
+      } else if (Match("/")) {
+        TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> right,
+                               ParseStep(/*anchored=*/false));
+        left = PathExpr::MakeSeq(std::move(left), std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  // anchored: a leading "/" anchors the first step at the context node, so a
+  // bare name test uses the self axis instead of child.
+  Result<std::unique_ptr<PathExpr>> ParseStep(bool anchored) {
+    Skip();
+    if (Match("(")) {
+      TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> inner,
+                             ParseUnion(anchored));
+      if (!Match(")")) return Error("expected ')'");
+      TREEQ_RETURN_IF_ERROR(ParseQualifiers(inner.get()));
+      return inner;
+    }
+    if (Match(".")) {
+      auto step = PathExpr::MakeStep(Axis::kSelf);
+      TREEQ_RETURN_IF_ERROR(ParseQualifiers(step.get()));
+      return step;
+    }
+    Axis axis = anchored ? Axis::kSelf : Axis::kChild;
+    std::string name_test;
+    if (Match("*")) {
+      // child::* (or self::* when anchored)
+    } else {
+      TREEQ_ASSIGN_OR_RETURN(std::string first, ParseName());
+      if (Match("::")) {
+        Result<Axis> parsed = ParseAxis(first);
+        if (!parsed.ok()) return Error("unknown axis '" + first + "'");
+        axis = parsed.value();
+        if (!Match("*")) {
+          TREEQ_ASSIGN_OR_RETURN(name_test, ParseName());
+        }
+      } else {
+        name_test = first;
+      }
+    }
+    auto step = PathExpr::MakeStep(axis);
+    if (!name_test.empty()) {
+      step->qualifiers.push_back(Qualifier::MakeLabel(name_test));
+    }
+    TREEQ_RETURN_IF_ERROR(ParseQualifiers(step.get()));
+    return step;
+  }
+
+  Status ParseQualifiers(PathExpr* step) {
+    while (Match("[")) {
+      TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> q, ParseQualOr());
+      if (!Match("]")) return Error("expected ']'");
+      step->qualifiers.push_back(std::move(q));
+    }
+    return Status::OK();
+  }
+
+  Result<std::unique_ptr<Qualifier>> ParseQualOr() {
+    TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> left, ParseQualAnd());
+    while (MatchWord("or")) {
+      TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> right, ParseQualAnd());
+      left = Qualifier::MakeOr(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Qualifier>> ParseQualAnd() {
+    TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> left, ParseQualPrim());
+    while (MatchWord("and")) {
+      TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> right,
+                             ParseQualPrim());
+      left = Qualifier::MakeAnd(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<Qualifier>> ParseQualPrim() {
+    Skip();
+    if (MatchWord("not")) {
+      if (!Match("(")) return Error("expected '(' after not");
+      TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> inner, ParseQualOr());
+      if (!Match(")")) return Error("expected ')'");
+      return Qualifier::MakeNot(std::move(inner));
+    }
+    // "lab() = L"
+    size_t save = pos_;
+    if (MatchWord("lab")) {
+      if (Match("(") && Match(")") && Match("=")) {
+        TREEQ_ASSIGN_OR_RETURN(std::string label, ParseLabelOperand());
+        return Qualifier::MakeLabel(std::move(label));
+      }
+      pos_ = save;
+    }
+    // Otherwise: an existential path (which may itself start with '('), or a
+    // parenthesized Boolean expression "(q1 and q2)". Try the path reading
+    // first and backtrack to the Boolean reading on failure.
+    save = pos_;
+    Result<std::unique_ptr<PathExpr>> path =
+        ParseUnion(/*anchor_first_step=*/false);
+    if (path.ok()) return Qualifier::MakePath(std::move(path).value());
+    pos_ = save;
+    if (Match("(")) {
+      TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> inner, ParseQualOr());
+      if (!Match(")")) return Error("expected ')'");
+      return inner;
+    }
+    return path.status();
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<PathExpr>> ParseXPath(std::string_view input) {
+  return XPathParser(input).Parse();
+}
+
+}  // namespace xpath
+}  // namespace treeq

@@ -1,0 +1,221 @@
+#include "xpath/to_datalog.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace treeq {
+namespace xpath {
+
+namespace {
+
+using datalog::Atom;
+using datalog::Program;
+using datalog::Rule;
+
+/// Builds the program rule by rule; every Fresh() name denotes one
+/// subexpression of the query, so the output has O(|Q|) rules.
+class Translator {
+ public:
+  Translator(Program* out, bool allow_negation)
+      : out_(out), allow_negation_(allow_negation) {}
+
+  std::string Fresh() { return "X" + std::to_string(counter_++); }
+
+  /// result(x) iff x is selected by `path` from a context node satisfying
+  /// `context_pred`. Returns the result predicate name.
+  Result<std::string> Forward(const PathExpr& path,
+                              const std::string& context_pred) {
+    switch (path.kind) {
+      case PathExpr::Kind::kStep: {
+        // result(x) <- context(y), axis(y, x), B_q1(x), ..., B_qk(x).
+        std::vector<std::string> qual_preds;
+        for (const auto& q : path.qualifiers) {
+          TREEQ_ASSIGN_OR_RETURN(std::string b, QualifierPred(*q));
+          qual_preds.push_back(b);
+        }
+        std::string result = Fresh();
+        Rule rule;
+        rule.head_pred = result;
+        rule.var_names = {"y", "x"};
+        rule.head_var = 1;
+        rule.body.push_back(Atom::MakeIntensional(context_pred, 0));
+        rule.body.push_back(Atom::MakeAxis(path.axis, 0, 1));
+        for (const std::string& b : qual_preds) {
+          rule.body.push_back(Atom::MakeIntensional(b, 1));
+        }
+        out_->rules().push_back(std::move(rule));
+        return result;
+      }
+      case PathExpr::Kind::kSeq: {
+        TREEQ_ASSIGN_OR_RETURN(std::string mid,
+                               Forward(*path.left, context_pred));
+        return Forward(*path.right, mid);
+      }
+      case PathExpr::Kind::kUnion: {
+        TREEQ_ASSIGN_OR_RETURN(std::string l, Forward(*path.left, context_pred));
+        TREEQ_ASSIGN_OR_RETURN(std::string r,
+                               Forward(*path.right, context_pred));
+        std::string result = Fresh();
+        EmitCopy(result, l);
+        EmitCopy(result, r);
+        return result;
+      }
+    }
+    return Status::Internal("unreachable");
+  }
+
+  /// b(x) iff qualifier `q` holds at x.
+  Result<std::string> QualifierPred(const Qualifier& q) {
+    switch (q.kind) {
+      case Qualifier::Kind::kLabel: {
+        std::string b = Fresh();
+        Rule rule;
+        rule.head_pred = b;
+        rule.var_names = {"x"};
+        rule.head_var = 0;
+        rule.body.push_back(Atom::MakeLabel(q.label, 0));
+        out_->rules().push_back(std::move(rule));
+        return b;
+      }
+      case Qualifier::Kind::kAnd: {
+        TREEQ_ASSIGN_OR_RETURN(std::string l, QualifierPred(*q.left));
+        TREEQ_ASSIGN_OR_RETURN(std::string r, QualifierPred(*q.right));
+        std::string b = Fresh();
+        Rule rule;
+        rule.head_pred = b;
+        rule.var_names = {"x"};
+        rule.head_var = 0;
+        rule.body.push_back(Atom::MakeIntensional(l, 0));
+        rule.body.push_back(Atom::MakeIntensional(r, 0));
+        out_->rules().push_back(std::move(rule));
+        return b;
+      }
+      case Qualifier::Kind::kOr: {
+        TREEQ_ASSIGN_OR_RETURN(std::string l, QualifierPred(*q.left));
+        TREEQ_ASSIGN_OR_RETURN(std::string r, QualifierPred(*q.right));
+        std::string b = Fresh();
+        EmitCopy(b, l);
+        EmitCopy(b, r);
+        return b;
+      }
+      case Qualifier::Kind::kPath:
+        return Backward(*q.path, /*target_pred=*/"");
+      case Qualifier::Kind::kNot: {
+        if (!allow_negation_) {
+          return Status::Unsupported(
+              "XPathToDatalog covers positive Core XPath only (use "
+              "XPathToStratifiedDatalog + EvaluateStratified for negation)");
+        }
+        TREEQ_ASSIGN_OR_RETURN(std::string inner, QualifierPred(*q.left));
+        // b(x) <- Dom(x), not inner(x): negation-as-failure, resolved by
+        // stratification (inner sits in a strictly lower stratum).
+        std::string b = Fresh();
+        Rule rule;
+        rule.head_pred = b;
+        rule.var_names = {"x"};
+        rule.head_var = 0;
+        rule.body.push_back(
+            Atom::MakeUnaryBuiltin(datalog::UnaryBuiltin::kDom, 0));
+        Atom negated = Atom::MakeIntensional(inner, 0);
+        negated.negated = true;
+        rule.body.push_back(std::move(negated));
+        out_->rules().push_back(std::move(rule));
+        return b;
+      }
+    }
+    return Status::Internal("unreachable");
+  }
+
+ private:
+  void EmitCopy(const std::string& head, const std::string& body) {
+    Rule rule;
+    rule.head_pred = head;
+    rule.var_names = {"x"};
+    rule.head_var = 0;
+    rule.body.push_back(Atom::MakeIntensional(body, 0));
+    out_->rules().push_back(std::move(rule));
+  }
+
+  /// b(x) iff `path` from x reaches some node satisfying `target_pred`
+  /// (empty target = any node).
+  Result<std::string> Backward(const PathExpr& path,
+                               const std::string& target_pred) {
+    switch (path.kind) {
+      case PathExpr::Kind::kStep: {
+        std::vector<std::string> qual_preds;
+        for (const auto& q : path.qualifiers) {
+          TREEQ_ASSIGN_OR_RETURN(std::string b, QualifierPred(*q));
+          qual_preds.push_back(b);
+        }
+        std::string result = Fresh();
+        Rule rule;
+        rule.head_pred = result;
+        rule.var_names = {"x", "y"};
+        rule.head_var = 0;
+        rule.body.push_back(Atom::MakeAxis(path.axis, 0, 1));
+        for (const std::string& b : qual_preds) {
+          rule.body.push_back(Atom::MakeIntensional(b, 1));
+        }
+        if (!target_pred.empty()) {
+          rule.body.push_back(Atom::MakeIntensional(target_pred, 1));
+        }
+        out_->rules().push_back(std::move(rule));
+        return result;
+      }
+      case PathExpr::Kind::kSeq: {
+        TREEQ_ASSIGN_OR_RETURN(std::string tail,
+                               Backward(*path.right, target_pred));
+        return Backward(*path.left, tail);
+      }
+      case PathExpr::Kind::kUnion: {
+        TREEQ_ASSIGN_OR_RETURN(std::string l, Backward(*path.left, target_pred));
+        TREEQ_ASSIGN_OR_RETURN(std::string r,
+                               Backward(*path.right, target_pred));
+        std::string result = Fresh();
+        EmitCopy(result, l);
+        EmitCopy(result, r);
+        return result;
+      }
+    }
+    return Status::Internal("unreachable");
+  }
+
+  Program* out_;
+  bool allow_negation_;
+  int counter_ = 0;
+};
+
+Result<datalog::Program> Translate(const PathExpr& path,
+                                   bool allow_negation) {
+  Program program;
+  Translator translator(&program, allow_negation);
+  // Context predicate: the root.
+  std::string root = translator.Fresh();
+  {
+    Rule rule;
+    rule.head_pred = root;
+    rule.var_names = {"x"};
+    rule.head_var = 0;
+    rule.body.push_back(
+        Atom::MakeUnaryBuiltin(datalog::UnaryBuiltin::kRoot, 0));
+    program.rules().push_back(std::move(rule));
+  }
+  TREEQ_ASSIGN_OR_RETURN(std::string result, translator.Forward(path, root));
+  program.set_query_predicate(result);
+  TREEQ_RETURN_IF_ERROR(program.Validate(allow_negation));
+  return program;
+}
+
+}  // namespace
+
+Result<datalog::Program> XPathToDatalog(const PathExpr& path) {
+  return Translate(path, /*allow_negation=*/false);
+}
+
+Result<datalog::Program> XPathToStratifiedDatalog(const PathExpr& path) {
+  return Translate(path, /*allow_negation=*/true);
+}
+
+}  // namespace xpath
+}  // namespace treeq

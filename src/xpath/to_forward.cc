@@ -1,0 +1,288 @@
+#include "xpath/to_forward.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "cq/rewrite.h"
+
+namespace treeq {
+namespace xpath {
+
+namespace {
+
+/// Recursively adds the atoms of a conjunctive path starting at `from`;
+/// returns the variable of the path's final step.
+class CqBuilder {
+ public:
+  explicit CqBuilder(cq::ConjunctiveQuery* query) : query_(query) {}
+
+  Result<int> AddPath(const PathExpr& path, int from) {
+    switch (path.kind) {
+      case PathExpr::Kind::kStep: {
+        int v = query_->AddVar("v" + std::to_string(counter_++));
+        query_->AddAxisAtom(path.axis, from, v);
+        for (const auto& q : path.qualifiers) {
+          TREEQ_RETURN_IF_ERROR(AddQualifier(*q, v));
+        }
+        return v;
+      }
+      case PathExpr::Kind::kSeq: {
+        TREEQ_ASSIGN_OR_RETURN(int mid, AddPath(*path.left, from));
+        return AddPath(*path.right, mid);
+      }
+      case PathExpr::Kind::kUnion:
+        return Status::Unsupported(
+            "ConjunctiveXPathToCq: union is not conjunctive");
+    }
+    return Status::Internal("unreachable");
+  }
+
+ private:
+  Status AddQualifier(const Qualifier& q, int at) {
+    switch (q.kind) {
+      case Qualifier::Kind::kLabel:
+        query_->AddLabelAtom(q.label, at);
+        return Status::OK();
+      case Qualifier::Kind::kPath:
+        return AddPath(*q.path, at).status();
+      case Qualifier::Kind::kAnd:
+        TREEQ_RETURN_IF_ERROR(AddQualifier(*q.left, at));
+        return AddQualifier(*q.right, at);
+      case Qualifier::Kind::kOr:
+      case Qualifier::Kind::kNot:
+        return Status::Unsupported(
+            "ConjunctiveXPathToCq: or/not are not conjunctive");
+    }
+    return Status::Internal("unreachable");
+  }
+
+  cq::ConjunctiveQuery* query_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+Result<XPathCq> ConjunctiveXPathToCq(const PathExpr& path) {
+  XPathCq out;
+  out.context_var = out.query.AddVar("ctx");
+  CqBuilder builder(&out.query);
+  TREEQ_ASSIGN_OR_RETURN(out.result_var,
+                         builder.AddPath(path, out.context_var));
+  out.query.AddHeadVar(out.context_var);
+  out.query.AddHeadVar(out.result_var);
+  TREEQ_RETURN_IF_ERROR(out.query.Validate());
+  return out;
+}
+
+namespace {
+
+/// Structure of one acyclic rewrite output: children lists and the axis of
+/// each variable's unique incoming atom.
+struct AcyclicShape {
+  std::vector<std::vector<int>> children;
+  std::vector<Axis> in_axis;   // axis of the in-edge (kSelf at roots)
+  std::vector<int> parent;     // -1 at roots
+};
+
+Result<AcyclicShape> ShapeOf(const cq::ConjunctiveQuery& query) {
+  AcyclicShape shape;
+  const int k = query.num_vars();
+  shape.children.resize(k);
+  shape.in_axis.assign(k, Axis::kSelf);
+  shape.parent.assign(k, -1);
+  for (const cq::AxisAtom& a : query.axis_atoms()) {
+    if (!IsForwardAxis(a.axis)) {
+      return Status::Internal("rewrite output contains a backward axis");
+    }
+    if (shape.parent[a.var1] != -1) {
+      return Status::Internal("rewrite output is not forest-shaped");
+    }
+    shape.parent[a.var1] = a.var0;
+    shape.in_axis[a.var1] = a.axis;
+    shape.children[a.var0].push_back(a.var1);
+  }
+  return shape;
+}
+
+/// Attaches var `v`'s label atoms plus the subtrees of its children (other
+/// than `skip_child`) as qualifiers of `step`.
+void AttachQualifiers(const cq::ConjunctiveQuery& query,
+                      const AcyclicShape& shape, int v, int skip_child,
+                      PathExpr* step);
+
+/// The qualifier path entering var `v` through its in-axis.
+std::unique_ptr<PathExpr> SubtreePath(const cq::ConjunctiveQuery& query,
+                                      const AcyclicShape& shape, int v,
+                                      Axis via) {
+  auto step = PathExpr::MakeStep(via);
+  AttachQualifiers(query, shape, v, /*skip_child=*/-1, step.get());
+  return step;
+}
+
+void AttachQualifiers(const cq::ConjunctiveQuery& query,
+                      const AcyclicShape& shape, int v, int skip_child,
+                      PathExpr* step) {
+  for (const cq::LabelAtom& a : query.label_atoms()) {
+    if (a.var == v) {
+      step->qualifiers.push_back(Qualifier::MakeLabel(a.label));
+    }
+  }
+  for (int child : shape.children[v]) {
+    if (child == skip_child) continue;
+    step->qualifiers.push_back(Qualifier::MakePath(
+        SubtreePath(query, shape, child, shape.in_axis[child])));
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// Replaces variable `from` with `to` in a copy of `query`, dropping
+/// reflexive star atoms the merge creates. Returns nullopt when the merge
+/// makes a strict atom reflexive (unsatisfiable).
+std::optional<cq::ConjunctiveQuery> MergeVariable(
+    const cq::ConjunctiveQuery& query, int from, int to) {
+  cq::ConjunctiveQuery out;
+  std::vector<int> remap(query.num_vars(), -1);
+  for (int v = 0; v < query.num_vars(); ++v) {
+    if (v == from) continue;
+    remap[v] = out.AddVar(query.var_names()[v]);
+  }
+  remap[from] = remap[to];
+  for (const cq::AxisAtom& a : query.axis_atoms()) {
+    int v0 = remap[a.var0];
+    int v1 = remap[a.var1];
+    if (v0 == v1) {
+      if (a.axis == Axis::kDescendantOrSelf ||
+          a.axis == Axis::kFollowingSiblingOrSelf || a.axis == Axis::kSelf) {
+        continue;  // reflexive star atom: trivially true
+      }
+      return std::nullopt;  // reflexive strict atom: unsatisfiable
+    }
+    out.AddAxisAtom(a.axis, v0, v1);
+  }
+  for (const cq::LabelAtom& a : query.label_atoms()) {
+    out.AddLabelAtom(a.label, remap[a.var]);
+  }
+  for (int h : query.head_vars()) out.AddHeadVar(remap[h]);
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PathExpr>> ForwardXPathFromAcyclic(
+    const cq::ConjunctiveQuery& input) {
+  if (input.head_vars().size() != 2) {
+    return Status::InvalidArgument(
+        "expected head variables (context, result)");
+  }
+  // The context is the document root: a strict in-edge at ctx (Child,
+  // Child+, NextSibling, NextSibling+) is unsatisfiable and drops the
+  // disjunct; a star in-edge R*(x, ctx) survives only in its x = ctx
+  // reading (the lazy rewriting keeps star atoms), so merge and retry.
+  cq::ConjunctiveQuery query = input;
+  for (;;) {
+    TREEQ_ASSIGN_OR_RETURN(AcyclicShape probe, ShapeOf(query));
+    int c = query.head_vars()[0];
+    if (probe.parent[c] == -1) break;
+    Axis in = probe.in_axis[c];
+    if (in != Axis::kDescendantOrSelf &&
+        in != Axis::kFollowingSiblingOrSelf) {
+      return std::unique_ptr<PathExpr>();
+    }
+    std::optional<cq::ConjunctiveQuery> merged =
+        MergeVariable(query, probe.parent[c], c);
+    if (!merged.has_value()) return std::unique_ptr<PathExpr>();
+    query = std::move(*merged);
+  }
+  const int ctx = query.head_vars()[0];
+  const int result = query.head_vars()[1];
+  TREEQ_ASSIGN_OR_RETURN(AcyclicShape shape, ShapeOf(query));
+
+  // Component roots.
+  auto root_of = [&shape](int v) {
+    while (shape.parent[v] != -1) v = shape.parent[v];
+    return v;
+  };
+  const int result_root = root_of(result);
+
+  // First step: self::* — the context node (= the root). It carries the
+  // context's labels and branches, plus every component not containing the
+  // result as an existential qualifier (any node is a descendant-or-self of
+  // the root).
+  auto first = PathExpr::MakeStep(Axis::kSelf);
+  // Spine from the result's component root down to the result.
+  std::vector<int> spine;
+  for (int v = result; v != -1; v = shape.parent[v]) spine.push_back(v);
+  std::reverse(spine.begin(), spine.end());  // result_root ... result
+
+  if (result_root == ctx) {
+    AttachQualifiers(query, shape, ctx, /*skip_child=*/
+                     spine.size() > 1 ? spine[1] : -1, first.get());
+  } else {
+    AttachQualifiers(query, shape, ctx, /*skip_child=*/-1, first.get());
+  }
+  // Other components (not the context's, not the result's).
+  std::vector<char> seen_root(query.num_vars(), 0);
+  for (int v = 0; v < query.num_vars(); ++v) {
+    int r = root_of(v);
+    if (r == ctx || r == result_root || seen_root[r]) continue;
+    seen_root[r] = 1;
+    first->qualifiers.push_back(Qualifier::MakePath(
+        SubtreePath(query, shape, r, Axis::kDescendantOrSelf)));
+  }
+
+  std::unique_ptr<PathExpr> path = std::move(first);
+  if (result_root != ctx) {
+    // Reach the (otherwise unconstrained) component root from the document
+    // root via descendant-or-self.
+    auto entry = PathExpr::MakeStep(Axis::kDescendantOrSelf);
+    AttachQualifiers(query, shape, result_root,
+                     spine.size() > 1 ? spine[1] : -1, entry.get());
+    path = PathExpr::MakeSeq(std::move(path), std::move(entry));
+  }
+  for (size_t i = 1; i < spine.size(); ++i) {
+    int v = spine[i];
+    auto step = PathExpr::MakeStep(shape.in_axis[v]);
+    AttachQualifiers(query, shape, v,
+                     i + 1 < spine.size() ? spine[i + 1] : -1, step.get());
+    path = PathExpr::MakeSeq(std::move(path), std::move(step));
+  }
+  return path;
+}
+
+Result<std::unique_ptr<PathExpr>> ToForwardXPath(const PathExpr& path) {
+  if (!IsConjunctive(path)) {
+    return Status::Unsupported(
+        "ToForwardXPath handles the conjunctive fragment (Theorem 5.1's "
+        "scope)");
+  }
+  TREEQ_ASSIGN_OR_RETURN(XPathCq xcq, ConjunctiveXPathToCq(path));
+  // The lazy rewriting branches only on demand; the eager variant would
+  // enumerate ordered-Bell-many weak orders of the query's variables and
+  // becomes impractical beyond ~6 steps.
+  TREEQ_ASSIGN_OR_RETURN(cq::RewriteOutput rewritten,
+                         cq::RewriteToAcyclicUnionLazy(xcq.query));
+  std::unique_ptr<PathExpr> out;
+  for (const cq::ConjunctiveQuery& q : rewritten.queries) {
+    TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> disjunct,
+                           ForwardXPathFromAcyclic(q));
+    if (disjunct == nullptr) continue;
+    out = out == nullptr
+              ? std::move(disjunct)
+              : PathExpr::MakeUnion(std::move(out), std::move(disjunct));
+  }
+  if (out == nullptr) {
+    // Canonical never-matching forward path: no label is the empty string.
+    auto never = PathExpr::MakeStep(Axis::kSelf);
+    never->qualifiers.push_back(Qualifier::MakeLabel(""));
+    out = std::move(never);
+  }
+  TREEQ_CHECK(IsForward(*out));
+  return out;
+}
+
+}  // namespace xpath
+}  // namespace treeq

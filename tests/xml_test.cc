@@ -1,0 +1,129 @@
+#include "tree/xml.h"
+
+#include <gtest/gtest.h>
+
+#include "tree/tree.h"
+
+namespace treeq {
+namespace {
+
+TEST(XmlTest, ParsesSimpleDocument) {
+  Result<Tree> tr = ParseXml("<a><b/><c><d/></c></a>");
+  ASSERT_TRUE(tr.ok()) << tr.status().ToString();
+  const Tree& t = tr.value();
+  ASSERT_EQ(t.num_nodes(), 4);
+  EXPECT_TRUE(t.HasLabel(0, "a"));
+  EXPECT_TRUE(t.HasLabel(1, "b"));
+  EXPECT_TRUE(t.HasLabel(2, "c"));
+  EXPECT_TRUE(t.HasLabel(3, "d"));
+  EXPECT_EQ(t.parent(3), 2);
+}
+
+TEST(XmlTest, AttributesBecomeLabels) {
+  Result<Tree> tr = ParseXml(R"(<item id="42" cls='x'/>)");
+  ASSERT_TRUE(tr.ok()) << tr.status().ToString();
+  const Tree& t = tr.value();
+  EXPECT_TRUE(t.HasLabel(0, "item"));
+  EXPECT_TRUE(t.HasLabel(0, "@id"));
+  EXPECT_TRUE(t.HasLabel(0, "@id=42"));
+  EXPECT_TRUE(t.HasLabel(0, "@cls=x"));
+}
+
+TEST(XmlTest, SkipsCommentsPisAndDeclaration) {
+  Result<Tree> tr = ParseXml(
+      "<?xml version=\"1.0\"?><!-- hi --><a><!-- inner --><b/><?pi data?>"
+      "</a><!-- bye -->");
+  ASSERT_TRUE(tr.ok()) << tr.status().ToString();
+  EXPECT_EQ(tr.value().num_nodes(), 2);
+}
+
+TEST(XmlTest, TextIgnoredByDefault) {
+  Result<Tree> tr = ParseXml("<a>hello <b/> world</a>");
+  ASSERT_TRUE(tr.ok()) << tr.status().ToString();
+  EXPECT_EQ(tr.value().num_nodes(), 2);
+}
+
+TEST(XmlTest, KeepTextOption) {
+  XmlOptions opts;
+  opts.keep_text = true;
+  Result<Tree> tr = ParseXml("<a>hello<b/>world</a>", opts);
+  ASSERT_TRUE(tr.ok()) << tr.status().ToString();
+  const Tree& t = tr.value();
+  ASSERT_EQ(t.num_nodes(), 4);
+  EXPECT_TRUE(t.HasLabel(1, "#text"));
+  EXPECT_TRUE(t.HasLabel(1, "#text=hello"));
+  EXPECT_TRUE(t.HasLabel(2, "b"));
+  EXPECT_TRUE(t.HasLabel(3, "#text=world"));
+}
+
+TEST(XmlTest, WhitespaceOnlyTextDropped) {
+  XmlOptions opts;
+  opts.keep_text = true;
+  Result<Tree> tr = ParseXml("<a>\n  <b/>\n</a>", opts);
+  ASSERT_TRUE(tr.ok());
+  EXPECT_EQ(tr.value().num_nodes(), 2);
+}
+
+TEST(XmlTest, DecodesEntities) {
+  XmlOptions opts;
+  opts.keep_text = true;
+  Result<Tree> tr = ParseXml("<a x=\"&lt;&amp;&gt;\">&quot;q&apos;</a>", opts);
+  ASSERT_TRUE(tr.ok()) << tr.status().ToString();
+  const Tree& t = tr.value();
+  EXPECT_TRUE(t.HasLabel(0, "@x=<&>"));
+  EXPECT_TRUE(t.HasLabel(1, "#text=\"q'"));
+}
+
+TEST(XmlTest, MismatchedCloseTagIsError) {
+  Result<Tree> tr = ParseXml("<a><b></a></b>");
+  ASSERT_FALSE(tr.ok());
+  EXPECT_EQ(tr.status().code(), StatusCode::kParseError);
+}
+
+TEST(XmlTest, UnterminatedDocumentIsError) {
+  EXPECT_FALSE(ParseXml("<a><b/>").ok());
+  EXPECT_FALSE(ParseXml("<a attr=\"x>").ok());
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("plain text").ok());
+}
+
+TEST(XmlTest, TrailingContentIsError) {
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+}
+
+TEST(XmlTest, RoundTrip) {
+  const char* kDoc =
+      "<catalog><product id=\"1\"><name/><price/></product>"
+      "<product id=\"2\"><name/></product></catalog>";
+  Result<Tree> tr = ParseXml(kDoc);
+  ASSERT_TRUE(tr.ok());
+  std::string out = WriteXml(tr.value());
+  // Reparse the serialization; it must produce an identical structure.
+  Result<Tree> tr2 = ParseXml(out);
+  ASSERT_TRUE(tr2.ok()) << out;
+  const Tree& a = tr.value();
+  const Tree& b = tr2.value();
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  for (NodeId n = 0; n < a.num_nodes(); ++n) {
+    EXPECT_EQ(a.parent(n), b.parent(n));
+    EXPECT_EQ(a.labels(n).size(), b.labels(n).size());
+    for (LabelId l : a.labels(n)) {
+      EXPECT_TRUE(b.HasLabel(n, a.label_table().Name(l)));
+    }
+  }
+}
+
+TEST(XmlTest, DeepNesting) {
+  std::string doc;
+  const int kDepth = 2000;
+  for (int i = 0; i < kDepth; ++i) doc += "<a>";
+  doc += "<leaf/>";
+  for (int i = 0; i < kDepth; ++i) doc += "</a>";
+  Result<Tree> tr = ParseXml(doc);
+  ASSERT_TRUE(tr.ok());
+  EXPECT_EQ(tr.value().num_nodes(), kDepth + 1);
+  EXPECT_EQ(tr.value().Depth(), kDepth);
+}
+
+}  // namespace
+}  // namespace treeq
