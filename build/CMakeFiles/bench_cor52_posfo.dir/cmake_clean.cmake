@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cor52_posfo.dir/bench/bench_cor52_posfo.cc.o"
+  "CMakeFiles/bench_cor52_posfo.dir/bench/bench_cor52_posfo.cc.o.d"
+  "bench/bench_cor52_posfo"
+  "bench/bench_cor52_posfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cor52_posfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

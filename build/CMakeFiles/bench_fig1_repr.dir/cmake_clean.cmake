@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_repr.dir/bench/bench_fig1_repr.cc.o"
+  "CMakeFiles/bench_fig1_repr.dir/bench/bench_fig1_repr.cc.o.d"
+  "bench/bench_fig1_repr"
+  "bench/bench_fig1_repr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_repr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

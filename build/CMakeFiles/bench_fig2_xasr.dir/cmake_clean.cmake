@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_xasr.dir/bench/bench_fig2_xasr.cc.o"
+  "CMakeFiles/bench_fig2_xasr.dir/bench/bench_fig2_xasr.cc.o.d"
+  "bench/bench_fig2_xasr"
+  "bench/bench_fig2_xasr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_xasr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

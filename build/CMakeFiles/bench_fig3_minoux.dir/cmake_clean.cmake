@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_minoux.dir/bench/bench_fig3_minoux.cc.o"
+  "CMakeFiles/bench_fig3_minoux.dir/bench/bench_fig3_minoux.cc.o.d"
+  "bench/bench_fig3_minoux"
+  "bench/bench_fig3_minoux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_minoux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

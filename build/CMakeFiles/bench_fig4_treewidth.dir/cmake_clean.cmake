@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_treewidth.dir/bench/bench_fig4_treewidth.cc.o"
+  "CMakeFiles/bench_fig4_treewidth.dir/bench/bench_fig4_treewidth.cc.o.d"
+  "bench/bench_fig4_treewidth"
+  "bench/bench_fig4_treewidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_treewidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

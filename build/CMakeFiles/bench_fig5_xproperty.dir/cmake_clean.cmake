@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_xproperty.dir/bench/bench_fig5_xproperty.cc.o"
+  "CMakeFiles/bench_fig5_xproperty.dir/bench/bench_fig5_xproperty.cc.o.d"
+  "bench/bench_fig5_xproperty"
+  "bench/bench_fig5_xproperty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_xproperty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

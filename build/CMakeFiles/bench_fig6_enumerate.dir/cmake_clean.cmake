@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_enumerate.dir/bench/bench_fig6_enumerate.cc.o"
+  "CMakeFiles/bench_fig6_enumerate.dir/bench/bench_fig6_enumerate.cc.o.d"
+  "bench/bench_fig6_enumerate"
+  "bench/bench_fig6_enumerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_enumerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

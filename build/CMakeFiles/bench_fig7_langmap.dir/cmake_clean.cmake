@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_langmap.dir/bench/bench_fig7_langmap.cc.o"
+  "CMakeFiles/bench_fig7_langmap.dir/bench/bench_fig7_langmap.cc.o.d"
+  "bench/bench_fig7_langmap"
+  "bench/bench_fig7_langmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_langmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prop42_acyclic.dir/bench/bench_prop42_acyclic.cc.o"
+  "CMakeFiles/bench_prop42_acyclic.dir/bench/bench_prop42_acyclic.cc.o.d"
+  "bench/bench_prop42_acyclic"
+  "bench/bench_prop42_acyclic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prop42_acyclic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

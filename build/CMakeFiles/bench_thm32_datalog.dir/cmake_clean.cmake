@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm32_datalog.dir/bench/bench_thm32_datalog.cc.o"
+  "CMakeFiles/bench_thm32_datalog.dir/bench/bench_thm32_datalog.cc.o.d"
+  "bench/bench_thm32_datalog"
+  "bench/bench_thm32_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm32_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

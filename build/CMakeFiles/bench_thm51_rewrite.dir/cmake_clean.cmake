@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm51_rewrite.dir/bench/bench_thm51_rewrite.cc.o"
+  "CMakeFiles/bench_thm51_rewrite.dir/bench/bench_thm51_rewrite.cc.o.d"
+  "bench/bench_thm51_rewrite"
+  "bench/bench_thm51_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm51_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm65_xbar.dir/bench/bench_thm65_xbar.cc.o"
+  "CMakeFiles/bench_thm65_xbar.dir/bench/bench_thm65_xbar.cc.o.d"
+  "bench/bench_thm65_xbar"
+  "bench/bench_thm65_xbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm65_xbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

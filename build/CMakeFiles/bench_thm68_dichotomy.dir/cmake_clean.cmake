@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm68_dichotomy.dir/bench/bench_thm68_dichotomy.cc.o"
+  "CMakeFiles/bench_thm68_dichotomy.dir/bench/bench_thm68_dichotomy.cc.o.d"
+  "bench/bench_thm68_dichotomy"
+  "bench/bench_thm68_dichotomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm68_dichotomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_twigstack.dir/bench/bench_twigstack.cc.o"
+  "CMakeFiles/bench_twigstack.dir/bench/bench_twigstack.cc.o.d"
+  "bench/bench_twigstack"
+  "bench/bench_twigstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_twigstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xpath_combined.dir/bench/bench_xpath_combined.cc.o"
+  "CMakeFiles/bench_xpath_combined.dir/bench/bench_xpath_combined.cc.o.d"
+  "bench/bench_xpath_combined"
+  "bench/bench_xpath_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xpath_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

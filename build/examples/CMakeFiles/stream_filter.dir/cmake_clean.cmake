@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_filter.dir/stream_filter.cc.o"
+  "CMakeFiles/stream_filter.dir/stream_filter.cc.o.d"
+  "stream_filter"
+  "stream_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twig_matching.dir/twig_matching.cc.o"
+  "CMakeFiles/twig_matching.dir/twig_matching.cc.o.d"
+  "twig_matching"
+  "twig_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twig_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

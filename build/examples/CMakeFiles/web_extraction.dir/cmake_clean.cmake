@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_extraction.dir/web_extraction.cc.o"
+  "CMakeFiles/web_extraction.dir/web_extraction.cc.o.d"
+  "web_extraction"
+  "web_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cq/arc_consistency.cc" "src/CMakeFiles/treeq.dir/cq/arc_consistency.cc.o" "gcc" "src/CMakeFiles/treeq.dir/cq/arc_consistency.cc.o.d"
+  "/root/repo/src/cq/ast.cc" "src/CMakeFiles/treeq.dir/cq/ast.cc.o" "gcc" "src/CMakeFiles/treeq.dir/cq/ast.cc.o.d"
+  "/root/repo/src/cq/dichotomy.cc" "src/CMakeFiles/treeq.dir/cq/dichotomy.cc.o" "gcc" "src/CMakeFiles/treeq.dir/cq/dichotomy.cc.o.d"
+  "/root/repo/src/cq/enumerate.cc" "src/CMakeFiles/treeq.dir/cq/enumerate.cc.o" "gcc" "src/CMakeFiles/treeq.dir/cq/enumerate.cc.o.d"
+  "/root/repo/src/cq/naive.cc" "src/CMakeFiles/treeq.dir/cq/naive.cc.o" "gcc" "src/CMakeFiles/treeq.dir/cq/naive.cc.o.d"
+  "/root/repo/src/cq/parser.cc" "src/CMakeFiles/treeq.dir/cq/parser.cc.o" "gcc" "src/CMakeFiles/treeq.dir/cq/parser.cc.o.d"
+  "/root/repo/src/cq/rewrite.cc" "src/CMakeFiles/treeq.dir/cq/rewrite.cc.o" "gcc" "src/CMakeFiles/treeq.dir/cq/rewrite.cc.o.d"
+  "/root/repo/src/cq/treewidth_eval.cc" "src/CMakeFiles/treeq.dir/cq/treewidth_eval.cc.o" "gcc" "src/CMakeFiles/treeq.dir/cq/treewidth_eval.cc.o.d"
+  "/root/repo/src/cq/twig_join.cc" "src/CMakeFiles/treeq.dir/cq/twig_join.cc.o" "gcc" "src/CMakeFiles/treeq.dir/cq/twig_join.cc.o.d"
+  "/root/repo/src/cq/x_property.cc" "src/CMakeFiles/treeq.dir/cq/x_property.cc.o" "gcc" "src/CMakeFiles/treeq.dir/cq/x_property.cc.o.d"
+  "/root/repo/src/cq/yannakakis.cc" "src/CMakeFiles/treeq.dir/cq/yannakakis.cc.o" "gcc" "src/CMakeFiles/treeq.dir/cq/yannakakis.cc.o.d"
+  "/root/repo/src/datalog/ast.cc" "src/CMakeFiles/treeq.dir/datalog/ast.cc.o" "gcc" "src/CMakeFiles/treeq.dir/datalog/ast.cc.o.d"
+  "/root/repo/src/datalog/evaluator.cc" "src/CMakeFiles/treeq.dir/datalog/evaluator.cc.o" "gcc" "src/CMakeFiles/treeq.dir/datalog/evaluator.cc.o.d"
+  "/root/repo/src/datalog/grounder.cc" "src/CMakeFiles/treeq.dir/datalog/grounder.cc.o" "gcc" "src/CMakeFiles/treeq.dir/datalog/grounder.cc.o.d"
+  "/root/repo/src/datalog/horn.cc" "src/CMakeFiles/treeq.dir/datalog/horn.cc.o" "gcc" "src/CMakeFiles/treeq.dir/datalog/horn.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/CMakeFiles/treeq.dir/datalog/parser.cc.o" "gcc" "src/CMakeFiles/treeq.dir/datalog/parser.cc.o.d"
+  "/root/repo/src/datalog/stratified.cc" "src/CMakeFiles/treeq.dir/datalog/stratified.cc.o" "gcc" "src/CMakeFiles/treeq.dir/datalog/stratified.cc.o.d"
+  "/root/repo/src/datalog/tmnf.cc" "src/CMakeFiles/treeq.dir/datalog/tmnf.cc.o" "gcc" "src/CMakeFiles/treeq.dir/datalog/tmnf.cc.o.d"
+  "/root/repo/src/fo/ast.cc" "src/CMakeFiles/treeq.dir/fo/ast.cc.o" "gcc" "src/CMakeFiles/treeq.dir/fo/ast.cc.o.d"
+  "/root/repo/src/fo/corollary52.cc" "src/CMakeFiles/treeq.dir/fo/corollary52.cc.o" "gcc" "src/CMakeFiles/treeq.dir/fo/corollary52.cc.o.d"
+  "/root/repo/src/fo/evaluator.cc" "src/CMakeFiles/treeq.dir/fo/evaluator.cc.o" "gcc" "src/CMakeFiles/treeq.dir/fo/evaluator.cc.o.d"
+  "/root/repo/src/fo/parser.cc" "src/CMakeFiles/treeq.dir/fo/parser.cc.o" "gcc" "src/CMakeFiles/treeq.dir/fo/parser.cc.o.d"
+  "/root/repo/src/storage/dewey.cc" "src/CMakeFiles/treeq.dir/storage/dewey.cc.o" "gcc" "src/CMakeFiles/treeq.dir/storage/dewey.cc.o.d"
+  "/root/repo/src/storage/structural_join.cc" "src/CMakeFiles/treeq.dir/storage/structural_join.cc.o" "gcc" "src/CMakeFiles/treeq.dir/storage/structural_join.cc.o.d"
+  "/root/repo/src/storage/xasr.cc" "src/CMakeFiles/treeq.dir/storage/xasr.cc.o" "gcc" "src/CMakeFiles/treeq.dir/storage/xasr.cc.o.d"
+  "/root/repo/src/stream/sax.cc" "src/CMakeFiles/treeq.dir/stream/sax.cc.o" "gcc" "src/CMakeFiles/treeq.dir/stream/sax.cc.o.d"
+  "/root/repo/src/stream/stream_eval.cc" "src/CMakeFiles/treeq.dir/stream/stream_eval.cc.o" "gcc" "src/CMakeFiles/treeq.dir/stream/stream_eval.cc.o.d"
+  "/root/repo/src/tree/axes.cc" "src/CMakeFiles/treeq.dir/tree/axes.cc.o" "gcc" "src/CMakeFiles/treeq.dir/tree/axes.cc.o.d"
+  "/root/repo/src/tree/generator.cc" "src/CMakeFiles/treeq.dir/tree/generator.cc.o" "gcc" "src/CMakeFiles/treeq.dir/tree/generator.cc.o.d"
+  "/root/repo/src/tree/orders.cc" "src/CMakeFiles/treeq.dir/tree/orders.cc.o" "gcc" "src/CMakeFiles/treeq.dir/tree/orders.cc.o.d"
+  "/root/repo/src/tree/tree.cc" "src/CMakeFiles/treeq.dir/tree/tree.cc.o" "gcc" "src/CMakeFiles/treeq.dir/tree/tree.cc.o.d"
+  "/root/repo/src/tree/treewidth.cc" "src/CMakeFiles/treeq.dir/tree/treewidth.cc.o" "gcc" "src/CMakeFiles/treeq.dir/tree/treewidth.cc.o.d"
+  "/root/repo/src/tree/xml.cc" "src/CMakeFiles/treeq.dir/tree/xml.cc.o" "gcc" "src/CMakeFiles/treeq.dir/tree/xml.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/treeq.dir/util/random.cc.o" "gcc" "src/CMakeFiles/treeq.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/treeq.dir/util/status.cc.o" "gcc" "src/CMakeFiles/treeq.dir/util/status.cc.o.d"
+  "/root/repo/src/xpath/ast.cc" "src/CMakeFiles/treeq.dir/xpath/ast.cc.o" "gcc" "src/CMakeFiles/treeq.dir/xpath/ast.cc.o.d"
+  "/root/repo/src/xpath/evaluator.cc" "src/CMakeFiles/treeq.dir/xpath/evaluator.cc.o" "gcc" "src/CMakeFiles/treeq.dir/xpath/evaluator.cc.o.d"
+  "/root/repo/src/xpath/naive_evaluator.cc" "src/CMakeFiles/treeq.dir/xpath/naive_evaluator.cc.o" "gcc" "src/CMakeFiles/treeq.dir/xpath/naive_evaluator.cc.o.d"
+  "/root/repo/src/xpath/parser.cc" "src/CMakeFiles/treeq.dir/xpath/parser.cc.o" "gcc" "src/CMakeFiles/treeq.dir/xpath/parser.cc.o.d"
+  "/root/repo/src/xpath/to_datalog.cc" "src/CMakeFiles/treeq.dir/xpath/to_datalog.cc.o" "gcc" "src/CMakeFiles/treeq.dir/xpath/to_datalog.cc.o.d"
+  "/root/repo/src/xpath/to_forward.cc" "src/CMakeFiles/treeq.dir/xpath/to_forward.cc.o" "gcc" "src/CMakeFiles/treeq.dir/xpath/to_forward.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

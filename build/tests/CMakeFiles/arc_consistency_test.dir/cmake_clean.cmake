@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arc_consistency_test.dir/arc_consistency_test.cc.o"
+  "CMakeFiles/arc_consistency_test.dir/arc_consistency_test.cc.o.d"
+  "arc_consistency_test"
+  "arc_consistency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arc_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horn_test.dir/horn_test.cc.o"
+  "CMakeFiles/horn_test.dir/horn_test.cc.o.d"
+  "horn_test"
+  "horn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structural_join_test.dir/structural_join_test.cc.o"
+  "CMakeFiles/structural_join_test.dir/structural_join_test.cc.o.d"
+  "structural_join_test"
+  "structural_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structural_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/to_forward_test.dir/to_forward_test.cc.o"
+  "CMakeFiles/to_forward_test.dir/to_forward_test.cc.o.d"
+  "to_forward_test"
+  "to_forward_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/to_forward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

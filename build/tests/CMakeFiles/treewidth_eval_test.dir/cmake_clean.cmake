@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treewidth_eval_test.dir/treewidth_eval_test.cc.o"
+  "CMakeFiles/treewidth_eval_test.dir/treewidth_eval_test.cc.o.d"
+  "treewidth_eval_test"
+  "treewidth_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treewidth_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x_property_test.dir/x_property_test.cc.o"
+  "CMakeFiles/x_property_test.dir/x_property_test.cc.o.d"
+  "x_property_test"
+  "x_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

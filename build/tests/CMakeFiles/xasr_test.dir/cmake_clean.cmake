@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xasr_test.dir/xasr_test.cc.o"
+  "CMakeFiles/xasr_test.dir/xasr_test.cc.o.d"
+  "xasr_test"
+  "xasr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xasr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
