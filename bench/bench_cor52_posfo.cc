@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 
 #include "fo/corollary52.h"
@@ -84,6 +86,15 @@ BENCHMARK(BM_NaiveFoModelChecking)->Arg(64)->Arg(128)->Arg(256)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = treeq::benchjson::ExtractJsonPath(&argc, argv);
+  if (!json_path.empty()) {
+    // --json mode: the headline workload runs once under a reset obs
+    // registry; its work counters and spans land in the record.
+    return treeq::benchjson::WriteRecord(
+        json_path, "bench_cor52_posfo", [](treeq::benchjson::Record*) {
+          PrintPipelineShape();
+        });
+  }
   PrintPipelineShape();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 
 #include "tree/generator.h"
@@ -119,6 +121,15 @@ BENCHMARK(BM_ComputeOrders)
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = treeq::benchjson::ExtractJsonPath(&argc, argv);
+  if (!json_path.empty()) {
+    // --json mode: the headline workload runs once under a reset obs
+    // registry; its work counters and spans land in the record.
+    return treeq::benchjson::WriteRecord(
+        json_path, "bench_fig1_repr", [](treeq::benchjson::Record*) {
+          PrintFigure1();
+        });
+  }
   PrintFigure1();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 
 #include "storage/structural_join.h"
@@ -114,6 +116,15 @@ BENCHMARK(BM_IteratedJoinClosure)
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = treeq::benchjson::ExtractJsonPath(&argc, argv);
+  if (!json_path.empty()) {
+    // --json mode: the headline workload runs once under a reset obs
+    // registry; its work counters and spans land in the record.
+    return treeq::benchjson::WriteRecord(
+        json_path, "bench_fig2_xasr", [](treeq::benchjson::Record*) {
+          PrintFigure2();
+        });
+  }
   PrintFigure2();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 
 #include "datalog/horn.h"
@@ -97,6 +99,15 @@ BENCHMARK(BM_MinouxRandom)
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = treeq::benchjson::ExtractJsonPath(&argc, argv);
+  if (!json_path.empty()) {
+    // --json mode: the headline workload runs once under a reset obs
+    // registry; its work counters and spans land in the record.
+    return treeq::benchjson::WriteRecord(
+        json_path, "bench_fig3_minoux", [](treeq::benchjson::Record*) {
+          PrintExample33();
+        });
+  }
   PrintExample33();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

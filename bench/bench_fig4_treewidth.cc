@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 
 #include "tree/generator.h"
@@ -101,6 +103,15 @@ BENCHMARK(BM_GreedyDecomposeCycle)->Arg(16)->Arg(64)->Arg(256)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = treeq::benchjson::ExtractJsonPath(&argc, argv);
+  if (!json_path.empty()) {
+    // --json mode: the headline workload runs once under a reset obs
+    // registry; its work counters and spans land in the record.
+    return treeq::benchjson::WriteRecord(
+        json_path, "bench_fig4_treewidth", [](treeq::benchjson::Record*) {
+          PrintFigure4();
+        });
+  }
   PrintFigure4();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 #include <vector>
 
@@ -86,6 +88,15 @@ BENCHMARK(BM_XPropertyChecker)->Arg(16)->Arg(32)->Arg(64)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = treeq::benchjson::ExtractJsonPath(&argc, argv);
+  if (!json_path.empty()) {
+    // --json mode: the headline workload runs once under a reset obs
+    // registry; its work counters and spans land in the record.
+    return treeq::benchjson::WriteRecord(
+        json_path, "bench_fig5_xproperty", [](treeq::benchjson::Record*) {
+          PrintMatrix();
+        });
+  }
   PrintMatrix();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

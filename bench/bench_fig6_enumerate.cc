@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 
 #include "cq/enumerate.h"
@@ -101,6 +103,15 @@ BENCHMARK(BM_NaiveBaseline)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = treeq::benchjson::ExtractJsonPath(&argc, argv);
+  if (!json_path.empty()) {
+    // --json mode: the headline workload runs once under a reset obs
+    // registry; its work counters and spans land in the record.
+    return treeq::benchjson::WriteRecord(
+        json_path, "bench_fig6_enumerate", [](treeq::benchjson::Record*) {
+          PrintOutputSensitivity();
+        });
+  }
   PrintOutputSensitivity();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 
 #include "cq/enumerate.h"
@@ -151,6 +153,15 @@ BENCHMARK(BM_NaiveRecursiveXPath)->Arg(100)->Arg(1000)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = treeq::benchjson::ExtractJsonPath(&argc, argv);
+  if (!json_path.empty()) {
+    // --json mode: the headline workload runs once under a reset obs
+    // registry; its work counters and spans land in the record.
+    return treeq::benchjson::WriteRecord(
+        json_path, "bench_fig7_langmap", [](treeq::benchjson::Record*) {
+          PrintLanguageMap();
+        });
+  }
   PrintLanguageMap();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 #include <string>
 
@@ -157,6 +159,15 @@ BENCHMARK(BM_TreewidthCyclicTriangle)->Arg(64)->Arg(128)->Arg(256)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = treeq::benchjson::ExtractJsonPath(&argc, argv);
+  if (!json_path.empty()) {
+    // --json mode: the headline workload runs once under a reset obs
+    // registry; its work counters and spans land in the record.
+    return treeq::benchjson::WriteRecord(
+        json_path, "bench_prop42_acyclic", [](treeq::benchjson::Record*) {
+          PrintWorkCounters();
+        });
+  }
   PrintWorkCounters();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 
 #include "stream/stream_eval.h"
@@ -91,6 +93,15 @@ BENCHMARK(BM_DeepDocumentStream)->Arg(64)->Arg(1024)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = treeq::benchjson::ExtractJsonPath(&argc, argv);
+  if (!json_path.empty()) {
+    // --json mode: the headline workload runs once under a reset obs
+    // registry; its work counters and spans land in the record.
+    return treeq::benchjson::WriteRecord(
+        json_path, "bench_stream_memory", [](treeq::benchjson::Record*) {
+          PrintMemoryTables();
+        });
+  }
   PrintMemoryTables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

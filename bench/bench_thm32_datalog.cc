@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 #include <string>
 
@@ -115,6 +117,15 @@ BENCHMARK(BM_NaiveOracleDataSweep)->Arg(256)->Arg(1024)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = treeq::benchjson::ExtractJsonPath(&argc, argv);
+  if (!json_path.empty()) {
+    // --json mode: the headline workload runs once under a reset obs
+    // registry; its work counters and spans land in the record.
+    return treeq::benchjson::WriteRecord(
+        json_path, "bench_thm32_datalog", [](treeq::benchjson::Record*) {
+          PrintGroundingSizes();
+        });
+  }
   PrintGroundingSizes();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

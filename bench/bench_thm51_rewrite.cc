@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 #include <string>
 
@@ -108,6 +110,15 @@ BENCHMARK(BM_ChildNextSiblingRewrite)
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = treeq::benchjson::ExtractJsonPath(&argc, argv);
+  if (!json_path.empty()) {
+    // --json mode: the headline workload runs once under a reset obs
+    // registry; its work counters and spans land in the record.
+    return treeq::benchjson::WriteRecord(
+        json_path, "bench_thm51_rewrite", [](treeq::benchjson::Record*) {
+          PrintBlowup();
+        });
+  }
   PrintBlowup();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

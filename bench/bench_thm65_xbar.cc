@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 
 #include "cq/naive.h"
@@ -143,6 +145,15 @@ BENCHMARK(BM_XPropertyTau3)->Arg(256)->Arg(512)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = treeq::benchjson::ExtractJsonPath(&argc, argv);
+  if (!json_path.empty()) {
+    // --json mode: the headline workload runs once under a reset obs
+    // registry; its work counters and spans land in the record.
+    return treeq::benchjson::WriteRecord(
+        json_path, "bench_thm65_xbar", [](treeq::benchjson::Record*) {
+          PrintHeadline();
+        });
+  }
   PrintHeadline();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+
 #include <cstdio>
 #include <string>
 
@@ -135,6 +137,16 @@ BENCHMARK(BM_DispatcherNpHard)->Arg(1)->Arg(2)->Arg(3)->Unit(
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = treeq::benchjson::ExtractJsonPath(&argc, argv);
+  if (!json_path.empty()) {
+    // --json mode: the headline workload runs once under a reset obs
+    // registry; its work counters and spans land in the record.
+    return treeq::benchjson::WriteRecord(
+        json_path, "bench_thm68_dichotomy", [](treeq::benchjson::Record*) {
+          PrintClassification();
+          PrintSearchBlowup();
+        });
+  }
   PrintClassification();
   PrintSearchBlowup();
   benchmark::Initialize(&argc, argv);

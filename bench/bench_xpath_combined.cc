@@ -7,9 +7,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
+#include "bench_json.h"
+#include "obs/stats.h"
 #include "tree/generator.h"
 #include "tree/orders.h"
 #include "util/random.h"
@@ -137,9 +140,59 @@ void BM_NestedQualifiers(benchmark::State& state) {
 }
 BENCHMARK(BM_NestedQualifiers)->Unit(benchmark::kMicrosecond);
 
+// --json mode: one row per query length k, with per-k deltas of the
+// engines' registry counters. The naive column grows geometrically in k
+// while the set-at-a-time column grows by exactly k axis applications —
+// the paper's combined-complexity contrast as data.
+void JsonWorkload(treeq::benchjson::Record* rec) {
+  treeq::obs::StatsRegistry& reg = treeq::obs::StatsRegistry::Global();
+  treeq::Tree t = MakeTree(60);
+  treeq::TreeOrders o = treeq::ComputeOrders(t);
+  rec->SetNumber("input_nodes", t.num_nodes());
+  rec->SetString("query_shape", "k right-nested descendant steps");
+  for (int k : {1, 2, 3, 4, 5}) {
+    auto q = RightNestedChain(k);
+    uint64_t naive_before = reg.CounterValue("xpath.naive.rule_applications");
+    auto t0 = std::chrono::steady_clock::now();
+    auto naive = treeq::xpath::NaiveEvalPath(t, o, *q, t.root(),
+                                             /*budget=*/500'000'000);
+    auto t1 = std::chrono::steady_clock::now();
+    uint64_t axis_before = reg.CounterValue("xpath.axis_ops");
+    treeq::NodeSet fast = treeq::xpath::EvalQueryFromRoot(t, o, *q);
+    auto t2 = std::chrono::steady_clock::now();
+    auto ns = [](auto d) {
+      return static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+    };
+    rec->AddRow({
+        {"k", static_cast<double>(k)},
+        {"naive_rule_applications",
+         static_cast<double>(reg.CounterValue("xpath.naive.rule_applications") -
+                             naive_before)},
+        {"set_at_a_time_axis_ops",
+         static_cast<double>(reg.CounterValue("xpath.axis_ops") -
+                             axis_before)},
+        {"naive_ok", naive.ok() ? 1.0 : 0.0},
+        {"result_size", static_cast<double>(fast.size())},
+        {"naive_wall_ns", ns(t1 - t0)},
+        {"set_at_a_time_wall_ns", ns(t2 - t1)},
+    });
+  }
+  // One qualifier-bearing query so the dump also carries per-qualifier work
+  // (xpath.qualifier_ops), not just axis applications.
+  auto qual = treeq::xpath::ParseXPath("descendant::a[descendant::a]").value();
+  treeq::NodeSet qr = treeq::xpath::EvalQueryFromRoot(t, o, *qual);
+  rec->SetNumber("qualified_result_size", static_cast<double>(qr.size()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string json_path = treeq::benchjson::ExtractJsonPath(&argc, argv);
+  if (!json_path.empty()) {
+    return treeq::benchjson::WriteRecord(json_path, "bench_xpath_combined",
+                                         JsonWorkload);
+  }
   PrintBlowupTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "datalog/horn.h"
+#include "obs/obs.h"
 
 namespace treeq {
 namespace cq {
@@ -65,6 +66,7 @@ std::map<Axis, Adjacency> MaterializeUsedAxes(const ConjunctiveQuery& query,
 
 AcResult DirectAc(const ConjunctiveQuery& query, const Tree& tree,
                   const TreeOrders& orders, const PreValuation* initial) {
+  TREEQ_OBS_SPAN("cq.ac.direct");
   const int n = tree.num_nodes();
   PreValuation theta = InitialTheta(query, tree, initial);
   std::map<Axis, Adjacency> adjacency = MaterializeUsedAxes(query, tree, orders);
@@ -80,6 +82,7 @@ AcResult DirectAc(const ConjunctiveQuery& query, const Tree& tree,
   std::deque<std::pair<int, NodeId>> removed;  // (variable, value)
   auto erase_value = [&](int var, NodeId v) {
     if (theta[var].Contains(v)) {
+      TREEQ_OBS_INC("cq.ac.domain_shrinks");
       theta[var].Erase(v);
       removed.emplace_back(var, v);
     }
@@ -120,6 +123,7 @@ AcResult DirectAc(const ConjunctiveQuery& query, const Tree& tree,
 
   // Propagate removals.
   while (!removed.empty()) {
+    TREEQ_OBS_INC("cq.ac.propagation_rounds");
     auto [var, value] = removed.front();
     removed.pop_front();
     for (int i = 0; i < num_atoms; ++i) {
@@ -158,6 +162,7 @@ AcResult DirectAc(const ConjunctiveQuery& query, const Tree& tree,
 /// values, and Minoux' algorithm solves the instance in linear time.
 AcResult HornAc(const ConjunctiveQuery& query, const Tree& tree,
                 const TreeOrders& orders, const PreValuation* initial) {
+  TREEQ_OBS_SPAN("cq.ac.horn");
   const int n = tree.num_nodes();
   std::map<Axis, Adjacency> adjacency = MaterializeUsedAxes(query, tree, orders);
 
@@ -199,6 +204,7 @@ AcResult HornAc(const ConjunctiveQuery& query, const Tree& tree,
     }
   }
 
+  TREEQ_OBS_COUNT("cq.ac.horn_clauses", instance.num_clauses());
   std::vector<char> excluded = instance.Solve();
   AcResult result;
   result.theta.assign(query.num_vars(), NodeSet(n));

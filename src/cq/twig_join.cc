@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "obs/obs.h"
 #include "storage/structural_join.h"
 
 namespace treeq {
@@ -159,7 +160,10 @@ class TwigStackRunner {
     }
     // Skip q-elements whose subtree ends before the farthest child head:
     // they cannot cover all child branches.
-    while (!Exhausted(q) && NextEnd(q) <= NextL(nmax)) ++cursor_[q];
+    while (!Exhausted(q) && NextEnd(q) <= NextL(nmax)) {
+      TREEQ_OBS_INC("cq.twig.skipped_elements");
+      ++cursor_[q];
+    }
     if (NextL(q) < NextL(nmin)) return q;
     return nmin;
   }
@@ -179,6 +183,7 @@ class TwigStackRunner {
           static_cast<int>(stacks_[pattern_.nodes[q].parent].size()) - 1;
     }
     stacks_[q].push_back(StackEntry{Head(q), parent_top});
+    TREEQ_OBS_INC("cq.twig.stack_pushes");
     if (stats_ != nullptr) ++stats_->intermediate_results;
   }
 
@@ -227,6 +232,7 @@ class TwigStackRunner {
           solution[path.size() - 1 - i] = (*partial)[i];  // root first
         }
         path_solutions_[path.front()].push_back(std::move(solution));
+        TREEQ_OBS_INC("cq.twig.path_solutions");
         if (stats_ != nullptr) ++stats_->path_solutions;
       } else {
         // path[depth+1] is q's pattern parent; its admissible stack range
@@ -302,8 +308,11 @@ class TwigStackRunner {
 Result<TupleSet> TwigStackJoin(const TwigPattern& pattern, const Tree& tree,
                                const TreeOrders& orders, TwigStats* stats) {
   TREEQ_RETURN_IF_ERROR(pattern.Validate());
+  TREEQ_OBS_SPAN("cq.twig.twigstack");
   TwigStackRunner runner(pattern, tree, orders, stats);
-  return runner.Run();
+  TupleSet result = runner.Run();
+  TREEQ_OBS_COUNT("cq.twig.output_tuples", result.size());
+  return result;
 }
 
 Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
@@ -311,6 +320,7 @@ Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
                                        const TreeOrders& orders,
                                        TwigStats* stats) {
   TREEQ_RETURN_IF_ERROR(pattern.Validate());
+  TREEQ_OBS_SPAN("cq.twig.structural_joins");
   const int m = static_cast<int>(pattern.nodes.size());
 
   // Partial matches per pattern node, bottom-up: tuples over the pattern
@@ -341,6 +351,7 @@ Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
       std::vector<JoinItem> c_items = MakeJoinItems(orders, c_nodes);
       std::vector<std::pair<NodeId, NodeId>> edge_pairs = StackTreeJoin(
           self_items, c_items, pattern.nodes[c].edge == Axis::kChild);
+      TREEQ_OBS_COUNT("cq.twig.candidate_pairs", edge_pairs.size());
       if (stats != nullptr) stats->intermediate_results += edge_pairs.size();
       // Hash child partials by the c-node.
       std::map<NodeId, std::vector<const std::vector<NodeId>*>> by_c;
@@ -364,6 +375,7 @@ Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
         }
       }
       tuples = std::move(joined);
+      TREEQ_OBS_COUNT("cq.twig.intermediate_tuples", tuples.size());
       if (stats != nullptr) stats->intermediate_results += tuples.size();
     }
     partial[q] = std::move(tuples);

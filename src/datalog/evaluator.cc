@@ -7,12 +7,14 @@
 #include "datalog/grounder.h"
 #include "datalog/horn.h"
 #include "datalog/tmnf.h"
+#include "obs/obs.h"
 
 namespace treeq {
 namespace datalog {
 
 Result<NodeSet> EvaluateDatalog(const Program& program, const Tree& tree,
                                 EvalStats* stats) {
+  TREEQ_OBS_SPAN("datalog.eval");
   TREEQ_ASSIGN_OR_RETURN(Program tmnf, ToTmnf(program));
   TREEQ_ASSIGN_OR_RETURN(GroundProgram ground, GroundTmnf(tmnf, tree));
   if (stats != nullptr) {
@@ -20,6 +22,8 @@ Result<NodeSet> EvaluateDatalog(const Program& program, const Tree& tree,
     stats->ground_clauses = ground.horn.num_clauses();
     stats->ground_literals = ground.horn.SizeInLiterals();
   }
+  TREEQ_OBS_COUNT("datalog.ground_clauses", ground.horn.num_clauses());
+  TREEQ_OBS_COUNT("datalog.ground_literals", ground.horn.SizeInLiterals());
   std::vector<char> truth = ground.horn.Solve();
   NodeSet result(tree.num_nodes());
   horn::PredId base = ground.pred_base.at(program.query_predicate());
@@ -124,8 +128,10 @@ Result<NodeSet> EvaluateDatalogNaive(const Program& program, const Tree& tree,
   }
   bool changed = true;
   while (changed) {
+    TREEQ_OBS_INC("datalog.fixpoint_iterations");
     changed = false;
     for (const Rule& rule : program.rules()) {
+      TREEQ_OBS_INC("datalog.rule_firings");
       NodeSet derived(tree.num_nodes());
       NaiveRuleMatcher matcher(rule, tree, orders, relations);
       matcher.Match(&derived);
@@ -133,6 +139,7 @@ Result<NodeSet> EvaluateDatalogNaive(const Program& program, const Tree& tree,
       for (NodeId v : derived.ToVector()) {
         if (!head.Contains(v)) {
           head.Insert(v);
+          TREEQ_OBS_INC("datalog.facts_derived");
           changed = true;
         }
       }

@@ -1,0 +1,86 @@
+#ifndef TREEQ_OBS_OBS_H_
+#define TREEQ_OBS_OBS_H_
+
+/// \file obs.h
+/// Instrumentation macros — the only interface engine code should use to
+/// record observability data. Each macro caches the registry pointer in a
+/// function-local static, so a counter hit after the first costs one
+/// relaxed atomic add.
+///
+///   TREEQ_OBS_INC("xpath.axis_ops");              // counter += 1
+///   TREEQ_OBS_COUNT("cq.twig.output", n);         // counter += n
+///   TREEQ_OBS_GAUGE_MAX("stream.peak", depth);    // high-water mark
+///   TREEQ_OBS_HISTOGRAM("xpath.result_size", k);  // log2 histogram
+///   TREEQ_OBS_SPAN("datalog.eval");               // RAII timer to scope end
+///
+/// Building with -DTREEQ_OBS_DISABLED (CMake option TREEQ_OBS_DISABLED)
+/// turns every macro into an empty statement: the argument expressions are
+/// discarded textually, no obs symbol is referenced, and instrumented hot
+/// loops compile exactly as if the macros were absent.
+
+#if defined(TREEQ_OBS_DISABLED)
+
+#define TREEQ_OBS_COUNT(name, delta) \
+  do {                               \
+  } while (0)
+#define TREEQ_OBS_INC(name) \
+  do {                      \
+  } while (0)
+#define TREEQ_OBS_GAUGE_MAX(name, value) \
+  do {                                   \
+  } while (0)
+#define TREEQ_OBS_GAUGE_SET(name, value) \
+  do {                                   \
+  } while (0)
+#define TREEQ_OBS_HISTOGRAM(name, value) \
+  do {                                   \
+  } while (0)
+#define TREEQ_OBS_SPAN(name) \
+  do {                       \
+  } while (0)
+
+#else  // !defined(TREEQ_OBS_DISABLED)
+
+#include "obs/span.h"
+#include "obs/stats.h"
+
+#define TREEQ_OBS_CONCAT_IMPL(a, b) a##b
+#define TREEQ_OBS_CONCAT(a, b) TREEQ_OBS_CONCAT_IMPL(a, b)
+
+#define TREEQ_OBS_COUNT(name, delta)                            \
+  do {                                                          \
+    static ::treeq::obs::Counter* const _treeq_obs_counter =    \
+        ::treeq::obs::StatsRegistry::Global().GetCounter(name); \
+    _treeq_obs_counter->Add(static_cast<uint64_t>(delta));      \
+  } while (0)
+
+#define TREEQ_OBS_INC(name) TREEQ_OBS_COUNT(name, 1)
+
+#define TREEQ_OBS_GAUGE_MAX(name, value)                          \
+  do {                                                            \
+    static ::treeq::obs::Gauge* const _treeq_obs_gauge =          \
+        ::treeq::obs::StatsRegistry::Global().GetGauge(name);     \
+    _treeq_obs_gauge->RecordMax(static_cast<uint64_t>(value));    \
+  } while (0)
+
+#define TREEQ_OBS_GAUGE_SET(name, value)                      \
+  do {                                                        \
+    static ::treeq::obs::Gauge* const _treeq_obs_gauge =      \
+        ::treeq::obs::StatsRegistry::Global().GetGauge(name); \
+    _treeq_obs_gauge->Set(static_cast<uint64_t>(value));      \
+  } while (0)
+
+#define TREEQ_OBS_HISTOGRAM(name, value)                          \
+  do {                                                            \
+    static ::treeq::obs::Histogram* const _treeq_obs_histogram =  \
+        ::treeq::obs::StatsRegistry::Global().GetHistogram(name); \
+    _treeq_obs_histogram->Record(static_cast<uint64_t>(value));   \
+  } while (0)
+
+#define TREEQ_OBS_SPAN(name)                                          \
+  ::treeq::obs::ScopedSpan TREEQ_OBS_CONCAT(_treeq_obs_span_,         \
+                                            __LINE__)(name)
+
+#endif  // TREEQ_OBS_DISABLED
+
+#endif  // TREEQ_OBS_OBS_H_

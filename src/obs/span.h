@@ -1,0 +1,47 @@
+#ifndef TREEQ_OBS_SPAN_H_
+#define TREEQ_OBS_SPAN_H_
+
+#include <chrono>
+
+#include "obs/stats.h"
+
+/// \file span.h
+/// RAII wall-clock timers (steady_clock) that nest into the registry's
+/// trace tree. Constructing a ScopedSpan pushes a node named `name` under
+/// the calling thread's current span; destruction records the elapsed time
+/// into that node's aggregate totals.
+///
+/// Use via the TREEQ_OBS_SPAN macro in obs.h so the span compiles away
+/// under TREEQ_OBS_DISABLED.
+
+namespace treeq {
+namespace obs {
+
+class ScopedSpan {
+ public:
+  /// `name` must outlive the program (string literals only).
+  explicit ScopedSpan(const char* name)
+      : node_(StatsRegistry::Global().EnterSpan(name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~ScopedSpan() {
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    StatsRegistry::Global().ExitSpan(
+        node_, static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       elapsed)
+                       .count()));
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanNode* node_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace treeq
+
+#endif  // TREEQ_OBS_SPAN_H_

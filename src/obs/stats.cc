@@ -1,0 +1,307 @@
+#include "obs/stats.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <iomanip>
+
+namespace treeq {
+namespace obs {
+
+namespace {
+
+/// The calling thread's position in the trace tree; null means "at root".
+thread_local SpanNode* tls_current_span = nullptr;
+
+void AtomicMin(std::atomic<uint64_t>* slot, uint64_t v) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* slot, uint64_t v) {
+  uint64_t cur = slot->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void ResetSpanNode(SpanNode* node) {
+  node->count.store(0, std::memory_order_relaxed);
+  node->total_ns.store(0, std::memory_order_relaxed);
+  node->child_ns.store(0, std::memory_order_relaxed);
+  for (const auto& child : node->children) ResetSpanNode(child.get());
+}
+
+SpanSnapshot SnapshotSpanNode(const SpanNode& node) {
+  SpanSnapshot snap;
+  snap.name = node.name;
+  snap.count = node.count.load(std::memory_order_relaxed);
+  snap.total_ns = node.total_ns.load(std::memory_order_relaxed);
+  uint64_t child = node.child_ns.load(std::memory_order_relaxed);
+  snap.self_ns = snap.total_ns > child ? snap.total_ns - child : 0;
+  for (const auto& c : node.children) {
+    snap.children.push_back(SnapshotSpanNode(*c));
+  }
+  return snap;
+}
+
+void JsonSpan(std::ostream& os, const SpanSnapshot& span) {
+  os << "{\"name\": \"" << JsonEscape(span.name)
+     << "\", \"count\": " << span.count
+     << ", \"total_ns\": " << span.total_ns
+     << ", \"self_ns\": " << span.self_ns << ", \"children\": [";
+  for (size_t i = 0; i < span.children.size(); ++i) {
+    if (i > 0) os << ", ";
+    JsonSpan(os, span.children[i]);
+  }
+  os << "]}";
+}
+
+void TableSpan(std::ostream& os, const SpanSnapshot& span, int depth) {
+  std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  os << "  " << indent << span.name << "  count=" << span.count
+     << "  total=" << span.total_ns << "ns  self=" << span.self_ns << "ns\n";
+  for (const SpanSnapshot& c : span.children) TableSpan(os, c, depth + 1);
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  AtomicMin(&min_, v);
+  AtomicMax(&max_, v);
+  buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t min = min_.load(std::memory_order_relaxed);
+  snap.min = snap.count == 0 || min == UINT64_MAX ? 0 : min;
+  snap.max = max_.load(std::memory_order_relaxed);
+  snap.buckets.resize(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+StatsRegistry::StatsRegistry() { span_root_.name = "<root>"; }
+
+StatsRegistry& StatsRegistry::Global() {
+  static StatsRegistry* registry = new StatsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter* StatsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* StatsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* StatsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+void StatsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+  ResetSpanNode(&span_root_);
+}
+
+uint64_t StatsRegistry::CounterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+uint64_t StatsRegistry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second->value();
+}
+
+std::map<std::string, uint64_t> StatsRegistry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c->value());
+  return out;
+}
+
+std::map<std::string, uint64_t> StatsRegistry::GaugeValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, g] : gauges_) out.emplace(name, g->value());
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> StatsRegistry::HistogramValues()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : histograms_) out.emplace(name, h->Snapshot());
+  return out;
+}
+
+std::vector<SpanSnapshot> StatsRegistry::SpanTree() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanSnapshot> out;
+  for (const auto& c : span_root_.children) {
+    out.push_back(SnapshotSpanNode(*c));
+  }
+  return out;
+}
+
+SpanNode* StatsRegistry::EnterSpan(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanNode* parent =
+      tls_current_span == nullptr ? &span_root_ : tls_current_span;
+  for (const auto& c : parent->children) {
+    if (c->name == name) {
+      tls_current_span = c.get();
+      return c.get();
+    }
+  }
+  auto node = std::make_unique<SpanNode>();
+  node->name = name;
+  node->parent = parent;
+  SpanNode* raw = node.get();
+  parent->children.push_back(std::move(node));
+  tls_current_span = raw;
+  return raw;
+}
+
+void StatsRegistry::ExitSpan(SpanNode* node, uint64_t elapsed_ns) {
+  node->count.fetch_add(1, std::memory_order_relaxed);
+  node->total_ns.fetch_add(elapsed_ns, std::memory_order_relaxed);
+  if (node->parent != nullptr && node->parent != &span_root_) {
+    node->parent->child_ns.fetch_add(elapsed_ns, std::memory_order_relaxed);
+  }
+  tls_current_span = node->parent == &span_root_ ? nullptr : node->parent;
+}
+
+void StatsRegistry::DumpJson(std::ostream& os) const {
+  // Snapshot everything first; the accessors take the lock themselves.
+  auto counters = CounterValues();
+  auto gauges = GaugeValues();
+  auto histograms = HistogramValues();
+  auto spans = SpanTree();
+
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\": " << v;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\": " << v;
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << JsonEscape(name) << "\": {\"count\": " << h.count
+       << ", \"sum\": " << h.sum << ", \"min\": " << h.min
+       << ", \"max\": " << h.max << ", \"mean\": " << h.mean() << "}";
+  }
+  os << "}, \"spans\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) os << ", ";
+    JsonSpan(os, spans[i]);
+  }
+  os << "]}";
+}
+
+void StatsRegistry::DumpTable(std::ostream& os) const {
+  os << "counters:\n";
+  for (const auto& [name, v] : CounterValues()) {
+    os << "  " << std::left << std::setw(40) << name << " " << v << "\n";
+  }
+  os << "gauges:\n";
+  for (const auto& [name, v] : GaugeValues()) {
+    os << "  " << std::left << std::setw(40) << name << " " << v << "\n";
+  }
+  os << "histograms:\n";
+  for (const auto& [name, h] : HistogramValues()) {
+    os << "  " << std::left << std::setw(40) << name << " count=" << h.count
+       << " sum=" << h.sum << " min=" << h.min << " max=" << h.max
+       << " mean=" << h.mean() << "\n";
+  }
+  os << "spans:\n";
+  for (const SpanSnapshot& span : SpanTree()) TableSpan(os, span, 0);
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace treeq

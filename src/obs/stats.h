@@ -1,0 +1,172 @@
+#ifndef TREEQ_OBS_STATS_H_
+#define TREEQ_OBS_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file stats.h
+/// The treeq observability registry: named monotonic counters, max-gauges,
+/// and size/latency histograms with cheap thread-safe updates, plus a
+/// lightweight trace tree aggregated from `ScopedSpan` (span.h) timings.
+///
+/// Instrumentation sites do not use these classes directly; they use the
+/// macros in obs.h, which cache the registry pointer in a function-local
+/// static so a hit costs one relaxed atomic add. With `TREEQ_OBS_DISABLED`
+/// defined the macros expand to nothing and no registry symbol is
+/// referenced from instrumented code.
+///
+/// Counter names are dot-separated, one namespace per engine family
+/// ("xpath.axis_ops", "cq.twig.stack_pushes", ...); see DESIGN.md's
+/// "Observability" section for the taxonomy.
+
+namespace treeq {
+namespace obs {
+
+/// A monotonic event counter. Updates are relaxed atomic adds.
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A high-water-mark gauge (e.g. peak stack depth). `RecordMax` keeps the
+/// maximum ever observed; `Set` overwrites.
+class Gauge {
+ public:
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void RecordMax(uint64_t v) {
+    uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Read-only view of a Histogram at one instant.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // 0 when count == 0
+  uint64_t max = 0;
+  /// buckets[i] counts values v with bit_width(v) == i, i.e. bucket 0 is
+  /// {0}, bucket i >= 1 is [2^(i-1), 2^i).
+  std::vector<uint64_t> buckets;
+
+  double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+};
+
+/// A log2-bucketed histogram of sizes or latencies (nanoseconds).
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 65;  // bit_width of uint64_t in [0,64]
+
+  void Record(uint64_t v);
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+};
+
+/// One node of the aggregated trace tree: totals for every execution of a
+/// span name at one nesting position. Structure mutations are guarded by
+/// the registry mutex; totals are atomics so exits never lock.
+struct SpanNode {
+  std::string name;
+  SpanNode* parent = nullptr;
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> total_ns{0};
+  std::atomic<uint64_t> child_ns{0};
+  std::vector<std::unique_ptr<SpanNode>> children;
+};
+
+/// Read-only view of one trace-tree node.
+struct SpanSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+  /// Time not attributed to any child span.
+  uint64_t self_ns = 0;
+  std::vector<SpanSnapshot> children;
+};
+
+/// The process-wide registry. Get* registers on first use and returns a
+/// stable pointer (entries are never removed, so macro-site caches stay
+/// valid across Reset()).
+class StatsRegistry {
+ public:
+  static StatsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Zeroes every counter, gauge, histogram, and span total. Registered
+  /// names and cached pointers remain valid.
+  void Reset();
+
+  /// Current value of a counter / gauge, 0 if never registered.
+  uint64_t CounterValue(std::string_view name) const;
+  uint64_t GaugeValue(std::string_view name) const;
+
+  std::map<std::string, uint64_t> CounterValues() const;
+  std::map<std::string, uint64_t> GaugeValues() const;
+  std::map<std::string, HistogramSnapshot> HistogramValues() const;
+  std::vector<SpanSnapshot> SpanTree() const;
+
+  /// Serializes the full registry as one JSON object:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...},
+  ///  "spans": [...]}.
+  void DumpJson(std::ostream& os) const;
+
+  /// Human-readable aligned dump (counters, gauges, histograms, span tree).
+  void DumpTable(std::ostream& os) const;
+
+  /// Used by ScopedSpan. EnterSpan pushes a node for `name` under the
+  /// calling thread's current span (creating it on first use) and returns
+  /// it; ExitSpan records the elapsed time and pops.
+  SpanNode* EnterSpan(const char* name);
+  void ExitSpan(SpanNode* node, uint64_t elapsed_ns);
+
+ private:
+  StatsRegistry();
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  SpanNode span_root_;
+};
+
+/// Escapes `s` for use inside a JSON string literal (quotes not included).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace obs
+}  // namespace treeq
+
+#endif  // TREEQ_OBS_STATS_H_

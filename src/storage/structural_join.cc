@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/status.h"
 
 namespace treeq {
@@ -38,10 +39,17 @@ std::vector<std::pair<NodeId, NodeId>> StackTreeJoin(
       const JoinItem& a = ancestors[ai++];
       // Pop candidates whose subtree ended before a starts; they can contain
       // no future node either (inputs are in document order).
-      while (!stack.empty() && stack.back().end <= a.pre) stack.pop_back();
+      while (!stack.empty() && stack.back().end <= a.pre) {
+        TREEQ_OBS_INC("storage.join.skipped_nodes");
+        stack.pop_back();
+      }
+      TREEQ_OBS_INC("storage.join.stack_pushes");
       stack.push_back(a);
     }
-    while (!stack.empty() && stack.back().end <= d.pre) stack.pop_back();
+    while (!stack.empty() && stack.back().end <= d.pre) {
+      TREEQ_OBS_INC("storage.join.skipped_nodes");
+      stack.pop_back();
+    }
     // Every remaining stack entry contains d (stack entries are nested).
     for (const JoinItem& a : stack) {
       if (a.pre == d.pre) continue;  // a node is not its own ancestor
@@ -49,6 +57,7 @@ std::vector<std::pair<NodeId, NodeId>> StackTreeJoin(
       out.emplace_back(a.node, d.node);
     }
   }
+  TREEQ_OBS_COUNT("storage.join.output_pairs", out.size());
   return out;
 }
 
@@ -64,6 +73,7 @@ std::vector<std::pair<NodeId, NodeId>> NestedLoopJoin(
       out.emplace_back(a.node, d.node);
     }
   }
+  TREEQ_OBS_COUNT("storage.join.nested_loop_pairs", out.size());
   return out;
 }
 

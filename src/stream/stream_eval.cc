@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/obs.h"
+
 namespace treeq {
 namespace stream {
 
@@ -209,6 +211,7 @@ class StreamMatcher::Impl {
 
   void OnEvent(const SaxEvent& event) {
     ++stats_.events;
+    TREEQ_OBS_INC("stream.events");
     if (event.kind == SaxEvent::Kind::kStartElement) {
       OnStart(event);
     } else {
@@ -276,6 +279,7 @@ class StreamMatcher::Impl {
     f.active_child.assign(cq_.num_positions, 0);
     f.active_desc.assign(cq_.num_positions, 0);
     stats_.peak_frames = std::max(stats_.peak_frames, stack_.size());
+    TREEQ_OBS_GAUGE_MAX("stream.peak_stack_depth", stack_.size());
 
     // Selection prefix propagation (main paths only).
     const bool is_root = stack_.size() == 1;
@@ -588,6 +592,7 @@ const StreamStats& StreamMatcher::stats() const { return impl_->stats(); }
 
 Result<bool> StreamMatcher::MatchTree(const xpath::PathExpr& query,
                                       const Tree& tree, StreamStats* stats) {
+  TREEQ_OBS_SPAN("stream.match_tree");
   TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<StreamMatcher> matcher,
                          Compile(query));
   StreamTree(tree, [&matcher](const SaxEvent& e) { matcher->OnEvent(e); });
@@ -597,6 +602,7 @@ Result<bool> StreamMatcher::MatchTree(const xpath::PathExpr& query,
 
 Result<std::vector<NodeId>> StreamMatcher::SelectFromTree(
     const xpath::PathExpr& query, const Tree& tree, StreamStats* stats) {
+  TREEQ_OBS_SPAN("stream.select_from_tree");
   TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<StreamMatcher> matcher,
                          Compile(query));
   if (!matcher->selection_supported()) {

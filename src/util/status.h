@@ -80,6 +80,10 @@ class Result {
       std::abort();
     }
   }
+  /// Convenience error construction; passing kOk is a programmer error
+  /// (a Result holding no value must carry a real error) and aborts.
+  Result(StatusCode code, std::string message)
+      : Result(Status(code, std::move(message))) {}
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
@@ -95,6 +99,36 @@ class Result {
   T&& value() && {
     CheckOk();
     return std::move(*value_);
+  }
+
+  /// The held value, or `default_value` when this Result is an error.
+  T value_or(T default_value) const& {
+    return ok() ? *value_ : std::move(default_value);
+  }
+  T value_or(T default_value) && {
+    return ok() ? std::move(*value_) : std::move(default_value);
+  }
+
+  /// optional-style access. Like value(), aborts on an errored Result.
+  const T& operator*() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& operator*() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& operator*() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+  const T* operator->() const {
+    CheckOk();
+    return &*value_;
+  }
+  T* operator->() {
+    CheckOk();
+    return &*value_;
   }
 
  private:

@@ -1,5 +1,7 @@
 #include "xpath/evaluator.h"
 
+#include "obs/obs.h"
+
 namespace treeq {
 namespace xpath {
 
@@ -9,6 +11,7 @@ namespace {
 void ApplyQualifiers(const Tree& tree, const TreeOrders& orders,
                      const PathExpr& step, NodeSet* set) {
   for (const auto& q : step.qualifiers) {
+    TREEQ_OBS_INC("xpath.qualifier_ops");
     NodeSet b = EvalQualifier(tree, orders, *q);
     set->IntersectWith(b);
   }
@@ -22,8 +25,11 @@ NodeSet EvalPath(const Tree& tree, const TreeOrders& orders,
   switch (path.kind) {
     case PathExpr::Kind::kStep: {
       NodeSet out(n);
+      TREEQ_OBS_INC("xpath.axis_ops");
+      TREEQ_OBS_HISTOGRAM("xpath.context_size", context.size());
       AxisImage(tree, orders, path.axis, context, &out);
       ApplyQualifiers(tree, orders, path, &out);
+      TREEQ_OBS_HISTOGRAM("xpath.result_size", out.size());
       return out;
     }
     case PathExpr::Kind::kSeq: {
@@ -88,7 +94,10 @@ NodeSet EvalPathExists(const Tree& tree, const TreeOrders& orders,
       NodeSet restricted = target;
       ApplyQualifiers(tree, orders, path, &restricted);
       NodeSet out(n);
+      TREEQ_OBS_INC("xpath.axis_ops");
+      TREEQ_OBS_HISTOGRAM("xpath.context_size", restricted.size());
       AxisImage(tree, orders, InverseAxis(path.axis), restricted, &out);
+      TREEQ_OBS_HISTOGRAM("xpath.result_size", out.size());
       return out;
     }
     case PathExpr::Kind::kSeq: {
@@ -108,6 +117,7 @@ NodeSet EvalPathExists(const Tree& tree, const TreeOrders& orders,
 
 NodeSet EvalQueryFromRoot(const Tree& tree, const TreeOrders& orders,
                           const PathExpr& path) {
+  TREEQ_OBS_SPAN("xpath.eval");
   return EvalPath(tree, orders, path,
                   NodeSet::Singleton(tree.num_nodes(), tree.root()));
 }

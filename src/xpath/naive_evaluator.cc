@@ -1,5 +1,7 @@
 #include "xpath/naive_evaluator.h"
 
+#include "obs/obs.h"
+
 namespace treeq {
 namespace xpath {
 
@@ -86,8 +88,10 @@ class NaiveEvaluator {
 
  private:
   Status Charge() {
+    TREEQ_OBS_INC("xpath.naive.rule_applications");
     if (stats_ != nullptr) ++stats_->rule_applications;
     if (budget_ == 0) {
+      TREEQ_OBS_INC("xpath.naive.budget_exhaustions");
       return Status::Internal("naive XPath evaluation budget exceeded");
     }
     --budget_;

@@ -1,0 +1,51 @@
+/// Verifies the TREEQ_OBS_DISABLED contract: with the macro defined before
+/// obs.h is included, every TREEQ_OBS_* macro must compile to an empty
+/// statement — argument expressions are discarded unevaluated and nothing
+/// reaches the registry. This test unit defines the switch locally, so it
+/// exercises the disabled expansion even when the library build has
+/// instrumentation on.
+
+#define TREEQ_OBS_DISABLED 1
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/stats.h"
+
+namespace treeq {
+namespace obs {
+namespace {
+
+TEST(ObsDisabledTest, MacrosCompileToNoOps) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+
+  int evaluations = 0;
+  TREEQ_OBS_INC("disabled.counter");
+  TREEQ_OBS_COUNT("disabled.counter", ++evaluations);
+  TREEQ_OBS_GAUGE_MAX("disabled.gauge", ++evaluations);
+  TREEQ_OBS_GAUGE_SET("disabled.gauge", ++evaluations);
+  TREEQ_OBS_HISTOGRAM("disabled.hist", ++evaluations);
+  TREEQ_OBS_SPAN("disabled.span");
+
+  // Argument expressions are discarded textually, not evaluated.
+  EXPECT_EQ(evaluations, 0);
+  // Nothing was registered.
+  EXPECT_EQ(reg.CounterValue("disabled.counter"), 0u);
+  EXPECT_EQ(reg.GaugeValue("disabled.gauge"), 0u);
+  EXPECT_EQ(reg.HistogramValues().count("disabled.hist"), 0u);
+  for (const SpanSnapshot& s : reg.SpanTree()) {
+    EXPECT_NE(s.name, "disabled.span");
+  }
+}
+
+TEST(ObsDisabledTest, MacrosAreValidSingleStatements) {
+  // Must parse as one statement in unbraced control flow.
+  if (true) TREEQ_OBS_INC("disabled.branch");
+  for (int i = 0; i < 2; ++i) TREEQ_OBS_COUNT("disabled.loop", i);
+  EXPECT_EQ(StatsRegistry::Global().CounterValue("disabled.branch"), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace treeq

@@ -1,0 +1,285 @@
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <chrono>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/span.h"
+#include "obs/stats.h"
+
+namespace treeq {
+namespace obs {
+namespace {
+
+/// Minimal recursive-descent JSON parser: validates the grammar and
+/// records every "key": <number> pair it sees, at any nesting depth. Just
+/// enough to round-trip DumpJson output in tests.
+class MiniJsonParser {
+ public:
+  explicit MiniJsonParser(std::string text) : text_(std::move(text)) {}
+
+  bool Parse() {
+    pos_ = 0;
+    bool ok = ParseValue();
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+  /// The value of the last "key": number pair seen, or `fallback`.
+  double NumberFor(const std::string& key, double fallback = -1) const {
+    auto it = numbers_.rbegin();
+    for (; it != numbers_.rend(); ++it) {
+      if (it->first == key) return it->second;
+    }
+    return fallback;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(text_[pos_])) ++pos_;
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      *out += text_[pos_++];
+    }
+    return Consume('"');
+  }
+
+  bool ParseNumber(double* out) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(text_[pos_]) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    *out = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      std::string s;
+      return ParseString(&s);
+    }
+    double n;
+    return ParseNumber(&n);
+  }
+
+  bool ParseObject() {
+    if (!Consume('{')) return false;
+    SkipSpace();
+    if (Consume('}')) return true;
+    do {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      SkipSpace();
+      if (pos_ < text_.size() &&
+          (std::isdigit(text_[pos_]) || text_[pos_] == '-')) {
+        double n;
+        if (!ParseNumber(&n)) return false;
+        numbers_.emplace_back(key, n);
+      } else {
+        if (!ParseValue()) return false;
+      }
+    } while (Consume(','));
+    return Consume('}');
+  }
+
+  bool ParseArray() {
+    if (!Consume('[')) return false;
+    SkipSpace();
+    if (Consume(']')) return true;
+    do {
+      if (!ParseValue()) return false;
+    } while (Consume(','));
+    return Consume(']');
+  }
+
+  std::string text_;
+  size_t pos_ = 0;
+  std::vector<std::pair<std::string, double>> numbers_;
+};
+
+TEST(StatsRegistryTest, CounterAggregation) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  Counter* c = reg.GetCounter("test.counter_aggregation");
+  c->Increment();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+  EXPECT_EQ(reg.CounterValue("test.counter_aggregation"), 42u);
+  // Re-registering the same name yields the same counter.
+  EXPECT_EQ(reg.GetCounter("test.counter_aggregation"), c);
+  EXPECT_EQ(reg.CounterValue("test.never_registered"), 0u);
+}
+
+TEST(StatsRegistryTest, ResetKeepsPointersValid) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  Counter* c = reg.GetCounter("test.reset_keeps");
+  c->Add(7);
+  reg.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  c->Add(3);  // the cached pointer still feeds the same registry entry
+  EXPECT_EQ(reg.CounterValue("test.reset_keeps"), 3u);
+}
+
+TEST(StatsRegistryTest, ConcurrentCounterIncrements) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      Counter* c = reg.GetCounter("test.concurrent");
+      for (int i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.CounterValue("test.concurrent"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(StatsRegistryTest, GaugeRecordsMaximum) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  Gauge* g = reg.GetGauge("test.gauge");
+  g->RecordMax(5);
+  g->RecordMax(3);  // lower value must not win
+  EXPECT_EQ(g->value(), 5u);
+  g->RecordMax(9);
+  EXPECT_EQ(reg.GaugeValue("test.gauge"), 9u);
+}
+
+TEST(StatsRegistryTest, HistogramStats) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  Histogram* h = reg.GetHistogram("test.histogram");
+  for (uint64_t v : {1u, 2u, 4u, 1000u}) h->Record(v);
+  HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 1007u);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 1007.0 / 4);
+  // 1000 has bit_width 10: bucket 10 holds [512, 1024).
+  EXPECT_EQ(snap.buckets[10], 1u);
+}
+
+TEST(ScopedSpanTest, NestedSpanTimingMonotonicity) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  constexpr int kRuns = 3;
+  for (int i = 0; i < kRuns; ++i) {
+    ScopedSpan outer("test.outer");
+    {
+      ScopedSpan inner("test.inner");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  std::vector<SpanSnapshot> spans = reg.SpanTree();
+  const SpanSnapshot* outer = nullptr;
+  for (const SpanSnapshot& s : spans) {
+    if (s.name == "test.outer") outer = &s;
+  }
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->count, static_cast<uint64_t>(kRuns));
+  ASSERT_EQ(outer->children.size(), 1u);
+  const SpanSnapshot& inner = outer->children[0];
+  EXPECT_EQ(inner.name, "test.inner");
+  EXPECT_EQ(inner.count, static_cast<uint64_t>(kRuns));
+  // The inner span slept, so both totals are positive; the outer encloses
+  // the inner, and self time is what the children don't account for.
+  EXPECT_GT(inner.total_ns, 0u);
+  EXPECT_GE(outer->total_ns, inner.total_ns);
+  EXPECT_EQ(outer->self_ns, outer->total_ns - inner.total_ns);
+}
+
+TEST(StatsRegistryTest, JsonDumpRoundTripsThroughMiniParser) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  reg.GetCounter("test.json.counter")->Add(123);
+  reg.GetGauge("test.json.gauge")->RecordMax(17);
+  reg.GetHistogram("test.json.hist")->Record(8);
+  {
+    ScopedSpan span("test.json.span");
+  }
+  std::ostringstream os;
+  reg.DumpJson(os);
+  MiniJsonParser parser(os.str());
+  ASSERT_TRUE(parser.Parse()) << os.str();
+  EXPECT_EQ(parser.NumberFor("test.json.counter"), 123);
+  EXPECT_EQ(parser.NumberFor("test.json.gauge"), 17);
+}
+
+TEST(StatsRegistryTest, TableDumpMentionsEveryName) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  reg.GetCounter("test.table.counter")->Add(5);
+  std::ostringstream os;
+  reg.DumpTable(os);
+  EXPECT_NE(os.str().find("test.table.counter"), std::string::npos);
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain.name"), "plain.name");
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+#ifndef TREEQ_OBS_DISABLED
+
+TEST(ObsMacroTest, MacrosFeedTheRegistry) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  for (int i = 0; i < 3; ++i) TREEQ_OBS_INC("test.macro.inc");
+  TREEQ_OBS_COUNT("test.macro.count", 39);
+  TREEQ_OBS_GAUGE_MAX("test.macro.gauge", 11);
+  TREEQ_OBS_HISTOGRAM("test.macro.hist", 4);
+  {
+    TREEQ_OBS_SPAN("test.macro.span");
+  }
+  EXPECT_EQ(reg.CounterValue("test.macro.inc"), 3u);
+  EXPECT_EQ(reg.CounterValue("test.macro.count"), 39u);
+  EXPECT_EQ(reg.GaugeValue("test.macro.gauge"), 11u);
+  EXPECT_EQ(reg.HistogramValues().at("test.macro.hist").count, 1u);
+  bool saw_span = false;
+  for (const SpanSnapshot& s : reg.SpanTree()) {
+    if (s.name == "test.macro.span") saw_span = true;
+  }
+  EXPECT_TRUE(saw_span);
+}
+
+#endif  // TREEQ_OBS_DISABLED
+
+}  // namespace
+}  // namespace obs
+}  // namespace treeq

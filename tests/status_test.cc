@@ -51,6 +51,57 @@ TEST(ResultTest, MoveOutValue) {
   EXPECT_EQ(v, "hello");
 }
 
+TEST(ResultTest, ValueOr) {
+  Result<int> ok(42);
+  EXPECT_EQ(ok.value_or(7), 42);
+  Result<int> err(Status::NotFound("gone"));
+  EXPECT_EQ(err.value_or(7), 7);
+  EXPECT_EQ(Result<std::string>(Status::NotFound("x")).value_or("fallback"),
+            "fallback");
+}
+
+TEST(ResultTest, DereferenceOperators) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(*r, "hello");
+  EXPECT_EQ(r->size(), 5u);
+  *r += "!";
+  EXPECT_EQ(*std::move(r), "hello!");
+
+  const Result<std::string> cr(std::string("const"));
+  EXPECT_EQ(*cr, "const");
+  EXPECT_EQ(cr->size(), 5u);
+}
+
+TEST(ResultTest, CodeMessageConstructor) {
+  Result<int> r(StatusCode::kParseError, "bad digit");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(r.status().message(), "bad digit");
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_DEATH(r.value(), "Result::value\\(\\) on error");
+}
+
+TEST(ResultDeathTest, DereferenceOnErrorAborts) {
+  Result<int> r(Status::Internal("boom"));
+  EXPECT_DEATH(*r, "Result::value\\(\\) on error");
+  Result<std::string> s(Status::Internal("boom"));
+  EXPECT_DEATH(s->size(), "Result::value\\(\\) on error");
+}
+
+TEST(ResultDeathTest, OkStatusConstructionAborts) {
+  EXPECT_DEATH(Result<int>(Status::OK()), "Result constructed from OK status");
+}
+
+TEST(ResultDeathTest, OkCodeMisuseAborts) {
+  // The (StatusCode, message) convenience constructor guards against kOk:
+  // a value-less Result must carry a real error.
+  EXPECT_DEATH(Result<int>(StatusCode::kOk, "not an error"),
+               "Result constructed from OK status");
+}
+
 Result<int> Half(int x) {
   if (x % 2 != 0) return Status::InvalidArgument("odd");
   return x / 2;
