@@ -1,0 +1,265 @@
+// Serving-engine throughput: queries/second of the Executor worker pool as
+// the thread count grows (1, 2, 4, 8) on a mixed XPath + CQ + datalog + FO
+// workload over catalog documents, and the latency gap between a PlanCache
+// hit and a cold compile. The obs counters in the --json record prove the
+// two headline claims: per-evaluation work counters stay exact under
+// concurrency (shadow counters merge losslessly), and a cache hit leaves
+// engine.plan.compiles untouched.
+//
+// Scaling caveat: qps-vs-threads is hardware-dependent — on a single-core
+// container every thread count serves at the same rate. The record's meta
+// carries hardware_concurrency so a reader can interpret the rows.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_json.h"
+
+#include <chrono>
+#include <cstdio>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "tree/generator.h"
+#include "util/random.h"
+
+namespace {
+
+using treeq::Language;
+using treeq::engine::DocumentStore;
+using treeq::engine::Executor;
+using treeq::engine::Plan;
+using treeq::engine::PlanCache;
+using treeq::engine::PlanPtr;
+using treeq::engine::QueryResult;
+using treeq::engine::Request;
+
+struct WorkloadQuery {
+  Language language;
+  const char* text;
+};
+
+// The mixed serving workload: two XPath paths, a Boolean CQ (dichotomy
+// route), a k-ary CQ (Yannakakis enumeration), a TMNF datalog program, and
+// a positive FO sentence (Corollary 5.2 route).
+constexpr WorkloadQuery kWorkload[] = {
+    {Language::kXPath, "/catalog/product[reviews/review]/name"},
+    {Language::kXPath, "//review/rating5"},
+    {Language::kCq, "Q() :- Child+(x, y), Lab_product(x), Lab_rating1(y)."},
+    {Language::kCq, "Q(p, r) :- Child+(p, r), Lab_product(p), Lab_review(r)."},
+    {Language::kDatalog,
+     "Good(x) :- Lab_rating5(x).\nHasGood(x) :- Child(x, y), Good(y).\n"
+     "?- HasGood."},
+    {Language::kFo,
+     "exists x . exists y . (Child(x, y) and Lab_review(x) and "
+     "Lab_rating5(y))"},
+};
+constexpr int kNumQueries = static_cast<int>(std::size(kWorkload));
+
+constexpr int kNumDocuments = 6;
+constexpr int kProductsPerDocument = 120;
+constexpr int kBatchRepeats = 8;  // requests = repeats * docs * queries
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void BuildCorpus(DocumentStore* store) {
+  for (int d = 0; d < kNumDocuments; ++d) {
+    treeq::Rng rng(static_cast<uint64_t>(1000 + d));
+    treeq::CatalogOptions opts;
+    opts.num_products = kProductsPerDocument;
+    auto added = store->Add("catalog" + std::to_string(d),
+                            treeq::CatalogDocument(&rng, opts));
+    TREEQ_CHECK(added.ok());
+  }
+}
+
+std::vector<PlanPtr> CompileWorkload() {
+  std::vector<PlanPtr> plans;
+  for (const WorkloadQuery& q : kWorkload) {
+    auto plan = Plan::Compile(q.language, q.text);
+    TREEQ_CHECK(plan.ok());
+    plans.push_back(std::move(plan).value());
+  }
+  return plans;
+}
+
+std::vector<Request> BuildBatch(const DocumentStore& store,
+                                const std::vector<PlanPtr>& plans) {
+  std::vector<Request> requests;
+  for (int rep = 0; rep < kBatchRepeats; ++rep) {
+    for (const std::string& name : store.Names()) {
+      for (const PlanPtr& plan : plans) {
+        requests.push_back(Request{plan, store.Get(name).value()});
+      }
+    }
+  }
+  return requests;
+}
+
+/// One timed RunBatch on a fresh pool of `threads` workers. Returns qps.
+double MeasureQps(const std::vector<Request>& batch, int threads,
+                  uint64_t* wall_ns_out) {
+  Executor exec(Executor::Options{.num_workers = threads,
+                                  .queue_capacity = 64});
+  uint64_t start = NowNs();
+  std::vector<treeq::Result<QueryResult>> results = exec.RunBatch(batch);
+  uint64_t wall_ns = NowNs() - start;
+  for (const auto& r : results) TREEQ_CHECK(r.ok());
+  if (wall_ns_out != nullptr) *wall_ns_out = wall_ns;
+  return static_cast<double>(batch.size()) * 1e9 /
+         static_cast<double>(wall_ns);
+}
+
+void RunThroughputSweep(treeq::benchjson::Record* record) {
+  DocumentStore store;
+  BuildCorpus(&store);
+  std::vector<PlanPtr> plans = CompileWorkload();
+  std::vector<Request> batch = BuildBatch(store, plans);
+
+  std::printf("=== engine throughput: qps vs worker threads ===\n");
+  std::printf("corpus: %d catalog documents, %d products each\n",
+              kNumDocuments, kProductsPerDocument);
+  std::printf("batch:  %zu requests (%d-query mix x %d docs x %d repeats)\n",
+              batch.size(), kNumQueries, kNumDocuments, kBatchRepeats);
+  std::printf("hardware_concurrency: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  // Warm-up pass so first-touch effects don't land on the 1-thread row.
+  (void)MeasureQps(batch, 1, nullptr);
+
+  double qps1 = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    uint64_t wall_ns = 0;
+    double qps = MeasureQps(batch, threads, &wall_ns);
+    if (threads == 1) qps1 = qps;
+    std::printf("threads=%d  wall=%8.2f ms  qps=%9.0f  speedup=%.2fx\n",
+                threads, static_cast<double>(wall_ns) / 1e6, qps,
+                qps / qps1);
+    if (record != nullptr) {
+      record->AddRow({{"threads", static_cast<double>(threads)},
+                      {"requests", static_cast<double>(batch.size())},
+                      {"wall_ns", static_cast<double>(wall_ns)},
+                      {"qps", qps},
+                      {"speedup_vs_1_thread", qps / qps1}});
+    }
+  }
+
+  // --- Plan-cache hit vs cold compile -----------------------------------
+  treeq::obs::StatsRegistry& reg = treeq::obs::StatsRegistry::Global();
+  constexpr int kReps = 2000;
+
+  uint64_t cold_start = NowNs();
+  for (int i = 0; i < kReps; ++i) {
+    const WorkloadQuery& q = kWorkload[i % kNumQueries];
+    auto plan = Plan::Compile(q.language, q.text);
+    TREEQ_CHECK(plan.ok());
+    benchmark::DoNotOptimize(plan);
+  }
+  double cold_ns = static_cast<double>(NowNs() - cold_start) / kReps;
+
+  PlanCache cache(32);
+  for (const WorkloadQuery& q : kWorkload) {
+    TREEQ_CHECK(cache.GetOrCompile(q.language, q.text).ok());
+  }
+  uint64_t compiles_before = reg.CounterValue("engine.plan.compiles");
+  uint64_t hit_start = NowNs();
+  for (int i = 0; i < kReps; ++i) {
+    const WorkloadQuery& q = kWorkload[i % kNumQueries];
+    auto plan = cache.GetOrCompile(q.language, q.text);
+    TREEQ_CHECK(plan.ok());
+    benchmark::DoNotOptimize(plan);
+  }
+  double hit_ns = static_cast<double>(NowNs() - hit_start) / kReps;
+  uint64_t compiles_during_hits =
+      reg.CounterValue("engine.plan.compiles") - compiles_before;
+
+  std::printf("\n=== plan cache: hit vs cold compile (avg over %d) ===\n",
+              kReps);
+  std::printf("cold compile: %8.0f ns/query\n", cold_ns);
+  std::printf("cache hit:    %8.0f ns/query  (%.1fx faster)\n", hit_ns,
+              cold_ns / hit_ns);
+  std::printf("compiles during hit loop: %llu (cache hits skip the parser)\n",
+              static_cast<unsigned long long>(compiles_during_hits));
+  TREEQ_CHECK(compiles_during_hits == 0);
+  TREEQ_CHECK(cache.hits() >= static_cast<uint64_t>(kReps));
+
+  if (record != nullptr) {
+    record->SetNumber("hardware_concurrency",
+                      std::thread::hardware_concurrency());
+    record->SetNumber("num_documents", kNumDocuments);
+    record->SetNumber("products_per_document", kProductsPerDocument);
+    record->SetNumber("batch_requests", static_cast<double>(batch.size()));
+    record->SetNumber("workload_queries", kNumQueries);
+    record->SetNumber("cold_compile_ns_avg", cold_ns);
+    record->SetNumber("cache_hit_ns_avg", hit_ns);
+    record->SetNumber("cache_hit_speedup", cold_ns / hit_ns);
+    record->SetNumber("compiles_during_hit_loop",
+                      static_cast<double>(compiles_during_hits));
+  }
+}
+
+// Micro-benchmarks for the default (google-benchmark) mode.
+
+void BM_ExecutorBatch(benchmark::State& state) {
+  DocumentStore store;
+  BuildCorpus(&store);
+  std::vector<Request> batch = BuildBatch(store, CompileWorkload());
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Executor exec(
+        Executor::Options{.num_workers = threads, .queue_capacity = 64});
+    auto results = exec.RunBatch(batch);
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch.size()));
+}
+BENCHMARK(BM_ExecutorBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+void BM_PlanColdCompile(benchmark::State& state) {
+  int i = 0;
+  for (auto _ : state) {
+    const WorkloadQuery& q = kWorkload[i++ % kNumQueries];
+    auto plan = Plan::Compile(q.language, q.text);
+    benchmark::DoNotOptimize(plan.ok());
+  }
+}
+BENCHMARK(BM_PlanColdCompile);
+
+void BM_PlanCacheHit(benchmark::State& state) {
+  PlanCache cache(32);
+  for (const WorkloadQuery& q : kWorkload) {
+    auto warm = cache.GetOrCompile(q.language, q.text);
+    TREEQ_CHECK(warm.ok());
+  }
+  int i = 0;
+  for (auto _ : state) {
+    const WorkloadQuery& q = kWorkload[i++ % kNumQueries];
+    auto plan = cache.GetOrCompile(q.language, q.text);
+    benchmark::DoNotOptimize(plan.ok());
+  }
+}
+BENCHMARK(BM_PlanCacheHit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = treeq::benchjson::ExtractJsonPath(&argc, argv);
+  if (!json_path.empty()) {
+    return treeq::benchjson::WriteRecord(
+        json_path, "bench_engine_throughput",
+        [](treeq::benchjson::Record* record) { RunThroughputSweep(record); });
+  }
+  RunThroughputSweep(nullptr);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "cq/ast.h"
 #include "cq/x_property.h"
+#include "tree/document.h"
 #include "tree/orders.h"
 #include "util/status.h"
 
@@ -48,6 +49,14 @@ Result<bool> EvaluateBooleanDichotomy(const ConjunctiveQuery& query,
                                       const Tree& tree,
                                       const TreeOrders& orders,
                                       bool* used_tractable_path = nullptr);
+
+/// Document-taking overload (tree/document.h); thin forwarder.
+inline Result<bool> EvaluateBooleanDichotomy(
+    const ConjunctiveQuery& query, const Document& doc,
+    bool* used_tractable_path = nullptr) {
+  return EvaluateBooleanDichotomy(query, doc.tree(), doc.orders(),
+                                  used_tractable_path);
+}
 
 }  // namespace cq
 }  // namespace treeq

@@ -5,6 +5,7 @@
 
 #include "cq/ast.h"
 #include "cq/yannakakis.h"
+#include "tree/document.h"
 #include "tree/orders.h"
 #include "util/status.h"
 
@@ -32,6 +33,13 @@ Result<std::vector<std::vector<NodeId>>> EnumerateSolutions(
 Result<TupleSet> EvaluateAcyclic(const ConjunctiveQuery& query,
                                  const Tree& tree, const TreeOrders& orders,
                                  uint64_t limit = UINT64_MAX);
+
+/// Document-taking overload (tree/document.h); thin forwarder.
+inline Result<TupleSet> EvaluateAcyclic(const ConjunctiveQuery& query,
+                                        const Document& doc,
+                                        uint64_t limit = UINT64_MAX) {
+  return EvaluateAcyclic(query, doc.tree(), doc.orders(), limit);
+}
 
 }  // namespace cq
 }  // namespace treeq

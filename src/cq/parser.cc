@@ -80,7 +80,11 @@ class CqParser {
     }
     Skip();
     if (!Eof()) return Error("trailing input");
-    TREEQ_RETURN_IF_ERROR(query.Validate());
+    // Route validation failures through Error() so every non-OK outcome of
+    // ParseCq is a ParseError carrying the byte offset.
+    if (Status valid = query.Validate(); !valid.ok()) {
+      return Error(valid.message());
+    }
     return query;
   }
 

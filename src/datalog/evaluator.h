@@ -6,6 +6,7 @@
 
 #include "datalog/ast.h"
 #include "tree/axes.h"
+#include "tree/document.h"
 #include "tree/orders.h"
 #include "tree/tree.h"
 #include "util/status.h"
@@ -46,6 +47,17 @@ Result<std::map<std::string, NodeSet>> EvaluateDatalogAllPredicates(
 /// `tree`.
 Result<NodeSet> EvaluateDatalogNaive(const Program& program, const Tree& tree,
                                      const TreeOrders& orders);
+
+/// Document-taking overloads (tree/document.h); thin forwarders.
+inline Result<NodeSet> EvaluateDatalog(const Program& program,
+                                       const Document& doc,
+                                       EvalStats* stats = nullptr) {
+  return EvaluateDatalog(program, doc.tree(), stats);
+}
+inline Result<NodeSet> EvaluateDatalogNaive(const Program& program,
+                                            const Document& doc) {
+  return EvaluateDatalogNaive(program, doc.tree(), doc.orders());
+}
 
 }  // namespace datalog
 }  // namespace treeq

@@ -29,8 +29,13 @@ class ProgramParser {
       program.rules().push_back(std::move(rule));
     }
     // Negated atoms are accepted here; the plain evaluator rejects them
-    // later, while the stratified evaluator handles them.
-    TREEQ_RETURN_IF_ERROR(program.Validate(/*allow_negation=*/true));
+    // later, while the stratified evaluator handles them. Validation
+    // failures are reported as ParseError with the byte offset so every
+    // non-OK outcome of ParseProgram has the same shape.
+    if (Status valid = program.Validate(/*allow_negation=*/true);
+        !valid.ok()) {
+      return Error(valid.message());
+    }
     return program;
   }
 

@@ -1,0 +1,55 @@
+#include "engine/document_store.h"
+
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace treeq {
+namespace engine {
+
+Result<DocumentPtr> DocumentStore::Add(std::string_view name, Tree tree) {
+  DocumentPtr doc = MakeDocumentWithOrders(std::move(tree));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = docs_.emplace(std::string(name), doc);
+  if (!inserted) {
+    return Status::InvalidArgument("document name already registered: " +
+                                   std::string(name));
+  }
+  TREEQ_OBS_INC("engine.store.documents_added");
+  return doc;
+}
+
+Result<DocumentPtr> DocumentStore::Get(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(name);
+  if (it == docs_.end()) {
+    return Status::NotFound("no document named: " + std::string(name));
+  }
+  return it->second;
+}
+
+Status DocumentStore::Remove(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.find(name);
+  if (it == docs_.end()) {
+    return Status::NotFound("no document named: " + std::string(name));
+  }
+  docs_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> DocumentStore::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(docs_.size());
+  for (const auto& [name, doc] : docs_) names.push_back(name);
+  return names;
+}
+
+size_t DocumentStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return docs_.size();
+}
+
+}  // namespace engine
+}  // namespace treeq

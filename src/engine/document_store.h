@@ -1,0 +1,50 @@
+#ifndef TREEQ_ENGINE_DOCUMENT_STORE_H_
+#define TREEQ_ENGINE_DOCUMENT_STORE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tree/document.h"
+#include "tree/tree.h"
+#include "util/status.h"
+
+/// \file document_store.h
+/// The server-side corpus: named, immutable Documents shared read-only by
+/// every worker. Add() computes TreeOrders eagerly so no serving thread
+/// ever pays (or races on) first-touch order computation; Get() hands out
+/// DocumentPtr handles that stay valid after Remove() (removal drops the
+/// store's reference, in-flight requests keep theirs).
+
+namespace treeq {
+namespace engine {
+
+class DocumentStore {
+ public:
+  /// Registers `tree` under `name` with precomputed orders. InvalidArgument
+  /// if the name is taken (replacing a live document under a running
+  /// executor is a recipe for confusion; Remove first to re-register).
+  Result<DocumentPtr> Add(std::string_view name, Tree tree);
+
+  /// The document registered under `name`, or NotFound.
+  Result<DocumentPtr> Get(std::string_view name) const;
+
+  /// Unregisters `name`. NotFound if absent. Existing handles stay valid.
+  Status Remove(std::string_view name);
+
+  /// Registered names in lexicographic order.
+  std::vector<std::string> Names() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, DocumentPtr, std::less<>> docs_;
+};
+
+}  // namespace engine
+}  // namespace treeq
+
+#endif  // TREEQ_ENGINE_DOCUMENT_STORE_H_

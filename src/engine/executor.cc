@@ -1,0 +1,121 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/obs.h"
+#include "obs/stats.h"
+
+namespace treeq {
+namespace engine {
+
+namespace {
+
+/// One macro site per language — TREEQ_OBS_INC caches its counter pointer
+/// in a function-local static, so it must see a distinct literal per name.
+void CountRequestLanguage(Language language) {
+  switch (language) {
+    case Language::kXPath:
+      TREEQ_OBS_INC("engine.exec.xpath_requests");
+      break;
+    case Language::kCq:
+      TREEQ_OBS_INC("engine.exec.cq_requests");
+      break;
+    case Language::kDatalog:
+      TREEQ_OBS_INC("engine.exec.datalog_requests");
+      break;
+    case Language::kFo:
+      TREEQ_OBS_INC("engine.exec.fo_requests");
+      break;
+  }
+}
+
+Result<QueryResult> RunOne(const PlanPtr& plan, const DocumentPtr& doc) {
+  if (plan == nullptr) {
+    return Status::InvalidArgument("null plan submitted");
+  }
+  if (doc == nullptr) {
+    return Status::InvalidArgument("null document submitted");
+  }
+  CountRequestLanguage(plan->language());
+  return plan->Run(*doc);
+}
+
+}  // namespace
+
+Executor::Executor() : Executor(Options()) {}
+
+Executor::Executor(const Options& options)
+    : queue_(std::max<size_t>(1, options.queue_capacity)) {
+  int n = options.num_workers;
+  if (n <= 0) {
+    n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0) n = 1;
+  }
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() {
+  queue_.Close();
+  for (std::thread& w : workers_) w.join();
+  // Workers drained the queue before exiting; any task still queued at
+  // Close() has had its promise fulfilled.
+}
+
+std::future<Result<QueryResult>> Executor::Submit(PlanPtr plan,
+                                                  DocumentPtr document) {
+  Task task;
+  task.plan = std::move(plan);
+  task.document = std::move(document);
+  std::future<Result<QueryResult>> future = task.promise.get_future();
+  TREEQ_OBS_INC("engine.exec.submitted");
+  if (!queue_.Push(std::move(task))) {
+    // Queue closed: the task bounced back un-run, so the promise we still
+    // hold (moved into the rejected task... not reachable) — rebuild one.
+    std::promise<Result<QueryResult>> failed;
+    future = failed.get_future();
+    failed.set_value(Status::Unavailable("executor is shut down"));
+  }
+  return future;
+}
+
+std::vector<Result<QueryResult>> Executor::RunBatch(
+    std::vector<Request> requests) {
+  std::vector<std::future<Result<QueryResult>>> futures;
+  futures.reserve(requests.size());
+  for (Request& r : requests) {
+    futures.push_back(Submit(std::move(r.plan), std::move(r.document)));
+  }
+  std::vector<Result<QueryResult>> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+void Executor::WorkerLoop() {
+  // All counter increments below (and inside the evaluators) buffer into
+  // this worker's shadow and merge at request boundaries; see executor.h.
+  obs::ShadowCounters shadow;
+  while (std::optional<Task> task = queue_.Pop()) {
+    auto start = std::chrono::steady_clock::now();
+    Result<QueryResult> result = RunOne(task->plan, task->document);
+    auto elapsed_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    TREEQ_OBS_INC("engine.exec.requests");
+    if (!result.ok()) TREEQ_OBS_INC("engine.exec.errors");
+    TREEQ_OBS_HISTOGRAM("engine.exec.request_ns", elapsed_ns);
+    // Merge this request's counter deltas before the caller can observe
+    // the future: "future ready" implies "stats visible".
+    shadow.Flush();
+    task->promise.set_value(std::move(result));
+  }
+}
+
+}  // namespace engine
+}  // namespace treeq

@@ -1,0 +1,86 @@
+#ifndef TREEQ_ENGINE_EXECUTOR_H_
+#define TREEQ_ENGINE_EXECUTOR_H_
+
+#include <cstddef>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "engine/mpmc_queue.h"
+#include "engine/plan.h"
+#include "tree/document.h"
+#include "util/status.h"
+
+/// \file executor.h
+/// A fixed-size worker pool that evaluates (plan, document) requests
+/// concurrently. Submit() enqueues onto a bounded MPMC queue (mpmc_queue.h)
+/// and returns a future; RunBatch() is the submit-all/wait-all convenience
+/// the bench and example use. Plans and documents are immutable and shared
+/// by shared_ptr, so a request needs no locking beyond the queue hand-off.
+///
+/// Observability under concurrency: each worker installs an
+/// obs::ShadowCounters, so the thousands of counter increments a single
+/// evaluation performs (xpath.axis_ops, datalog.ground_clauses, ...) land
+/// in a thread-private buffer instead of contending on shared cache lines.
+/// The buffer is merged into the global StatsRegistry at each request
+/// boundary, *before* the request's future is fulfilled: once every future
+/// of a batch is ready, the registry totals are exact.
+///
+/// Backpressure: Submit blocks while the queue is full — a heavy client
+/// slows down rather than ballooning memory. Destruction closes the queue,
+/// drains remaining requests (their futures complete), and joins.
+
+namespace treeq {
+namespace engine {
+
+/// One unit of serving work.
+struct Request {
+  PlanPtr plan;
+  DocumentPtr document;
+};
+
+class Executor {
+ public:
+  struct Options {
+    /// 0 = std::thread::hardware_concurrency (at least 1).
+    int num_workers = 0;
+    /// Max queued (not yet started) requests before Submit blocks.
+    size_t queue_capacity = 256;
+  };
+
+  /// Default options: one worker per hardware thread, queue of 256.
+  Executor();
+  explicit Executor(const Options& options);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueues one request. The future carries the evaluation result, or an
+  /// InvalidArgument status for a null plan/document. Blocks while the
+  /// queue is full; returns an already-failed future after shutdown began.
+  std::future<Result<QueryResult>> Submit(PlanPtr plan, DocumentPtr document);
+
+  /// Submits every request, then waits for all of them. Results are in
+  /// request order.
+  std::vector<Result<QueryResult>> RunBatch(std::vector<Request> requests);
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct Task {
+    PlanPtr plan;
+    DocumentPtr document;
+    std::promise<Result<QueryResult>> promise;
+  };
+
+  void WorkerLoop();
+
+  BoundedQueue<Task> queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace engine
+}  // namespace treeq
+
+#endif  // TREEQ_ENGINE_EXECUTOR_H_

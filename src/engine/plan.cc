@@ -1,0 +1,97 @@
+#include "engine/plan.h"
+
+#include <utility>
+
+#include "cq/enumerate.h"
+#include "datalog/evaluator.h"
+#include "fo/corollary52.h"
+#include "fo/evaluator.h"
+#include "obs/obs.h"
+#include "xpath/evaluator.h"
+
+namespace treeq {
+namespace engine {
+
+Result<PlanPtr> Plan::Compile(Language language, std::string_view text) {
+  TREEQ_OBS_SPAN("engine.plan.compile");
+  TREEQ_OBS_INC("engine.plan.compiles");
+  TREEQ_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(language, text));
+
+  auto plan = std::shared_ptr<Plan>(new Plan());
+  plan->text_ = std::string(text);
+  plan->query_ = std::move(parsed);
+
+  switch (language) {
+    case Language::kXPath:
+    case Language::kDatalog:
+      break;  // the parsers validate fully
+    case Language::kCq: {
+      const cq::ConjunctiveQuery& q = *plan->query_.cq;
+      plan->cq_boolean_ = q.IsBoolean();
+      cq::ConjunctiveQuery normalized = q;
+      normalized.NormalizeInverseAxes();
+      plan->cq_class_ = cq::ClassifySignature(normalized.AxesUsed());
+      if (!plan->cq_boolean_ && !q.IsTreeShaped()) {
+        return Status::Unsupported(
+            "k-ary CQ plans require a tree-shaped query graph "
+            "(acyclic evaluation, Proposition 6.10): " +
+            q.ToString());
+      }
+      break;
+    }
+    case Language::kFo: {
+      if (!fo::FreeVariables(*plan->query_.fo).empty()) {
+        return Status::Unsupported(
+            "FO plans must be sentences (no free variables): " +
+            fo::ToString(*plan->query_.fo));
+      }
+      plan->fo_positive_ = fo::IsPositive(*plan->query_.fo);
+      break;
+    }
+  }
+  return PlanPtr(std::move(plan));
+}
+
+Result<QueryResult> Plan::Run(const Document& doc) const {
+  TREEQ_OBS_SPAN("engine.plan.run");
+  TREEQ_OBS_INC("engine.plan.runs");
+  QueryResult out;
+  out.language = query_.language;
+  switch (query_.language) {
+    case Language::kXPath: {
+      out.nodes = xpath::EvalQueryFromRoot(doc, *query_.xpath);
+      return out;
+    }
+    case Language::kDatalog: {
+      TREEQ_ASSIGN_OR_RETURN(out.nodes,
+                             datalog::EvaluateDatalog(*query_.datalog, doc));
+      return out;
+    }
+    case Language::kCq: {
+      if (cq_boolean_) {
+        out.is_boolean = true;
+        TREEQ_ASSIGN_OR_RETURN(
+            out.boolean, cq::EvaluateBooleanDichotomy(*query_.cq, doc));
+        return out;
+      }
+      TREEQ_ASSIGN_OR_RETURN(out.tuples,
+                             cq::EvaluateAcyclic(*query_.cq, doc));
+      return out;
+    }
+    case Language::kFo: {
+      out.is_boolean = true;
+      if (fo_positive_) {
+        TREEQ_ASSIGN_OR_RETURN(
+            out.boolean, fo::EvaluateSentencePositive(*query_.fo, doc));
+      } else {
+        TREEQ_ASSIGN_OR_RETURN(out.boolean,
+                               fo::EvaluateSentenceNaive(*query_.fo, doc));
+      }
+      return out;
+    }
+  }
+  return Status::Internal("plan with invalid language");
+}
+
+}  // namespace engine
+}  // namespace treeq

@@ -1,0 +1,89 @@
+#ifndef TREEQ_ENGINE_PLAN_H_
+#define TREEQ_ENGINE_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cq/dichotomy.h"
+#include "query/parse.h"
+#include "tree/axes.h"
+#include "tree/document.h"
+#include "util/status.h"
+
+/// \file plan.h
+/// A `Plan` is a query parsed, validated, and routed once, then executable
+/// any number of times against any Document — the parse-once/run-many half
+/// of the serving story (the PlanCache in plan_cache.h is the other half).
+///
+/// Compile() front-loads everything that depends only on the query text:
+///   - parsing (query/parse.h, all errors kParseError + byte offset);
+///   - CQ: dichotomy classification (Theorem 6.8) and shape checks, so Run
+///     routes straight to X-property or Yannakakis evaluation;
+///   - FO: sentence check and positivity, so Run routes to the Corollary
+///     5.2 pipeline or the naive oracle without re-walking the AST.
+///
+/// A compiled Plan is immutable; Run is const and thread-safe, so one
+/// PlanPtr is shared freely across the Executor's workers.
+
+namespace treeq {
+namespace engine {
+
+class Plan;
+
+/// Shared read-only handle to a compiled plan.
+using PlanPtr = std::shared_ptr<const Plan>;
+
+/// The answer of one (plan, document) execution. Node-selecting languages
+/// (XPath, datalog, k-ary CQ) fill `nodes` or `tuples`; Boolean ones
+/// (Boolean CQ, FO sentences) fill `boolean`.
+struct QueryResult {
+  Language language = Language::kXPath;
+  bool is_boolean = false;
+  bool boolean = false;
+  NodeSet nodes;                          // kXPath, kDatalog
+  std::vector<std::vector<NodeId>> tuples;  // k-ary kCq
+
+  /// Uniform "how much did this select" accessor for logging/benches.
+  size_t cardinality() const {
+    if (is_boolean) return boolean ? 1 : 0;
+    if (!tuples.empty()) return tuples.size();
+    return static_cast<size_t>(nodes.size());
+  }
+};
+
+class Plan {
+ public:
+  /// Parses and validates `text` once. On success the plan is ready for
+  /// concurrent Run() calls.
+  static Result<PlanPtr> Compile(Language language, std::string_view text);
+
+  Language language() const { return query_.language; }
+  const std::string& text() const { return text_; }
+
+  /// Evaluates the plan on `doc` with the language's production evaluator:
+  /// set-at-a-time XPath, TMNF datalog pipeline, dichotomy-routed CQ,
+  /// Corollary 5.2 positive FO (naive model checking for general FO
+  /// sentences). Thread-safe; touches no mutable plan state.
+  Result<QueryResult> Run(const Document& doc) const;
+
+  /// Compile-time routing facts (for tests, logs, and the bench).
+  /// CQ only: the Theorem 6.8 signature class.
+  cq::SignatureClass cq_class() const { return cq_class_; }
+  /// FO only: whether Run uses the Corollary 5.2 pipeline.
+  bool fo_positive() const { return fo_positive_; }
+
+ private:
+  Plan() = default;
+
+  std::string text_;
+  ParsedQuery query_;
+  cq::SignatureClass cq_class_ = cq::SignatureClass::kTau1;
+  bool cq_boolean_ = false;
+  bool fo_positive_ = false;
+};
+
+}  // namespace engine
+}  // namespace treeq
+
+#endif  // TREEQ_ENGINE_PLAN_H_

@@ -1,0 +1,87 @@
+#include "engine/plan_cache.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+
+namespace treeq {
+namespace engine {
+
+PlanCache::PlanCache(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
+
+Result<PlanPtr> PlanCache::GetOrCompile(Language language,
+                                        std::string_view text) {
+  if (std::optional<PlanPtr> hit = Lookup(language, text)) {
+    return *std::move(hit);
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  TREEQ_OBS_INC("engine.plan_cache.misses");
+  // Compile outside the lock; see file comment for the duplicate-compile
+  // trade-off.
+  TREEQ_ASSIGN_OR_RETURN(PlanPtr plan, Plan::Compile(language, text));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Key key(language, std::string(text));
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      // A racing thread inserted first; serve its plan.
+      Touch(it);
+      return it->second->plan;
+    }
+    InsertLocked(std::move(key), plan);
+  }
+  return plan;
+}
+
+std::optional<PlanPtr> PlanCache::Lookup(Language language,
+                                         std::string_view text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(Key(language, std::string(text)));
+  if (it == index_.end()) return std::nullopt;
+  Touch(it);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  TREEQ_OBS_INC("engine.plan_cache.hits");
+  return it->second->plan;
+}
+
+void PlanCache::Insert(const PlanPtr& plan) {
+  if (plan == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Key key(plan->language(), plan->text());
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Touch(it);
+    return;
+  }
+  InsertLocked(std::move(key), plan);
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void PlanCache::Touch(
+    std::map<Key, std::list<Entry>::iterator>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+void PlanCache::InsertLocked(Key key, const PlanPtr& plan) {
+  while (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    TREEQ_OBS_INC("engine.plan_cache.evictions");
+  }
+  lru_.push_front(Entry{key, plan});
+  index_[std::move(key)] = lru_.begin();
+}
+
+}  // namespace engine
+}  // namespace treeq

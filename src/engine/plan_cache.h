@@ -1,0 +1,92 @@
+#ifndef TREEQ_ENGINE_PLAN_CACHE_H_
+#define TREEQ_ENGINE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "engine/plan.h"
+#include "query/parse.h"
+#include "util/status.h"
+
+/// \file plan_cache.h
+/// An LRU cache of compiled plans keyed by (language, query text) — the
+/// run-many half of the server's parse-once/run-many contract. A repeated
+/// query costs one mutex-guarded map lookup instead of a parse + validate +
+/// classify pass; the bench (bench_engine_throughput) measures the gap.
+///
+/// Thread-safety: all methods are safe to call concurrently. On a miss,
+/// GetOrCompile compiles OUTSIDE the cache lock, so a slow compile never
+/// stalls hits on other keys; two threads racing on the same cold key may
+/// both compile, and the first insert wins (plans are immutable, so either
+/// copy is equally good).
+///
+/// Obs counters: engine.plan_cache.hits / .misses / .evictions, plus
+/// engine.plan.compiles incremented by Plan::Compile itself — a cache hit
+/// leaves engine.plan.compiles untouched, which is how the bench proves
+/// hits skip compilation.
+
+namespace treeq {
+namespace engine {
+
+class PlanCache {
+ public:
+  /// `capacity` = max resident plans; at least 1.
+  explicit PlanCache(size_t capacity);
+
+  /// Returns the cached plan for (language, text), compiling and inserting
+  /// it on a miss. Compile failures are returned and not cached (a
+  /// mistyped query should not poison the cache).
+  Result<PlanPtr> GetOrCompile(Language language, std::string_view text);
+
+  /// Lookup without compiling; refreshes recency on a hit.
+  std::optional<PlanPtr> Lookup(Language language, std::string_view text);
+
+  /// Inserts an externally compiled plan (evicting LRU entries as needed).
+  void Insert(const PlanPtr& plan);
+
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  /// Lifetime tallies, independent of the obs registry (and of
+  /// TREEQ_OBS_DISABLED builds).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Key = std::pair<Language, std::string>;
+  struct Entry {
+    Key key;
+    PlanPtr plan;
+  };
+
+  /// Moves `it`'s entry to the front of the recency list. Caller holds mu_.
+  void Touch(std::map<Key, std::list<Entry>::iterator>::iterator it);
+  /// Inserts under mu_ unless the key is already present.
+  void InsertLocked(Key key, const PlanPtr& plan);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::map<Key, std::list<Entry>::iterator> index_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace engine
+}  // namespace treeq
+
+#endif  // TREEQ_ENGINE_PLAN_CACHE_H_

@@ -5,6 +5,7 @@
 
 #include "cq/ast.h"
 #include "fo/ast.h"
+#include "tree/document.h"
 #include "tree/orders.h"
 #include "util/status.h"
 
@@ -41,6 +42,13 @@ Result<bool> EvaluateSentencePositive(const Formula& formula,
                                       const Tree& tree,
                                       const TreeOrders& orders,
                                       Corollary52Stats* stats = nullptr);
+
+/// Document-taking overload (tree/document.h); thin forwarder.
+inline Result<bool> EvaluateSentencePositive(
+    const Formula& formula, const Document& doc,
+    Corollary52Stats* stats = nullptr) {
+  return EvaluateSentencePositive(formula, doc.tree(), doc.orders(), stats);
+}
 
 }  // namespace fo
 }  // namespace treeq

@@ -5,6 +5,7 @@
 
 #include "cq/ast.h"
 #include "fo/ast.h"
+#include "tree/document.h"
 #include "tree/orders.h"
 #include "util/status.h"
 
@@ -30,6 +31,18 @@ Result<bool> EvaluateSentenceNaive(const Formula& formula, const Tree& tree,
 Result<cq::TupleSet> EvaluateFoNaive(const Formula& formula, const Tree& tree,
                                      const TreeOrders& orders,
                                      uint64_t budget = UINT64_MAX);
+
+/// Document-taking overloads (tree/document.h); thin forwarders.
+inline Result<bool> EvaluateSentenceNaive(const Formula& formula,
+                                          const Document& doc,
+                                          uint64_t budget = UINT64_MAX) {
+  return EvaluateSentenceNaive(formula, doc.tree(), doc.orders(), budget);
+}
+inline Result<cq::TupleSet> EvaluateFoNaive(const Formula& formula,
+                                            const Document& doc,
+                                            uint64_t budget = UINT64_MAX) {
+  return EvaluateFoNaive(formula, doc.tree(), doc.orders(), budget);
+}
 
 }  // namespace fo
 }  // namespace treeq

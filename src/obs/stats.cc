@@ -68,6 +68,28 @@ void TableSpan(std::ostream& os, const SpanSnapshot& span, int depth) {
 
 }  // namespace
 
+namespace internal {
+thread_local ShadowCounters* tls_shadow_counters = nullptr;
+}  // namespace internal
+
+ShadowCounters::ShadowCounters() : prev_(internal::tls_shadow_counters) {
+  internal::tls_shadow_counters = this;
+}
+
+ShadowCounters::~ShadowCounters() {
+  Flush();
+  internal::tls_shadow_counters = prev_;
+}
+
+void ShadowCounters::Flush() {
+  for (const auto& [counter, delta] : deltas_) counter->AddDirect(delta);
+  deltas_.clear();
+}
+
+ShadowCounters* ShadowCounters::Current() {
+  return internal::tls_shadow_counters;
+}
+
 void Histogram::Record(uint64_t v) {
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);

@@ -9,6 +9,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 /// \file stats.h
@@ -29,15 +30,67 @@
 namespace treeq {
 namespace obs {
 
-/// A monotonic event counter. Updates are relaxed atomic adds.
+class Counter;
+
+/// Per-thread shadow buffer for counter increments. While one is installed
+/// on a thread (construction installs, destruction flushes and restores the
+/// previously installed one), every Counter::Add on that thread accumulates
+/// into a thread-private delta table instead of the shared atomic — no
+/// cache-line sharing between worker threads hammering the same counters.
+/// Flush() (and the destructor) merges the accumulated deltas into the real
+/// counters with one relaxed add per touched counter.
+///
+/// The engine's worker pool installs one per worker and flushes at request
+/// boundaries, so whenever a request's future is ready its counter deltas
+/// are globally visible. Gauges and histograms are not shadowed; they stay
+/// direct atomic updates.
+class ShadowCounters {
+ public:
+  ShadowCounters();
+  ~ShadowCounters();
+
+  ShadowCounters(const ShadowCounters&) = delete;
+  ShadowCounters& operator=(const ShadowCounters&) = delete;
+
+  /// Merges all buffered deltas into the underlying counters and clears the
+  /// buffer. Called automatically on destruction.
+  void Flush();
+
+  void Buffer(Counter* counter, uint64_t delta) { deltas_[counter] += delta; }
+
+  /// The shadow installed on the calling thread, or nullptr.
+  static ShadowCounters* Current();
+
+ private:
+  std::unordered_map<Counter*, uint64_t> deltas_;
+  ShadowCounters* prev_;
+};
+
+namespace internal {
+/// The calling thread's active shadow buffer (innermost, if nested).
+extern thread_local ShadowCounters* tls_shadow_counters;
+}  // namespace internal
+
+/// A monotonic event counter. Updates are relaxed atomic adds — or, when
+/// the calling thread has a ShadowCounters installed, thread-private
+/// buffered adds merged on Flush().
 class Counter {
  public:
   void Add(uint64_t delta) {
-    value_.fetch_add(delta, std::memory_order_relaxed);
+    if (ShadowCounters* shadow = internal::tls_shadow_counters) {
+      shadow->Buffer(this, delta);
+      return;
+    }
+    AddDirect(delta);
   }
   void Increment() { Add(1); }
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  /// Bypasses any installed shadow (used by ShadowCounters::Flush).
+  void AddDirect(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<uint64_t> value_{0};

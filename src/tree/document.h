@@ -1,0 +1,87 @@
+#ifndef TREEQ_TREE_DOCUMENT_H_
+#define TREEQ_TREE_DOCUMENT_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "tree/orders.h"
+#include "tree/tree.h"
+
+/// \file document.h
+/// A `Document` bundles a Tree with its precomputed TreeOrders in one
+/// immutable value, so callers stop threading `(tree, orders)` pairs through
+/// every evaluator. Orders are computed lazily on first access (thread-safe,
+/// exactly once) or can be supplied up front.
+///
+/// A Document is immutable after construction and safe to share read-only
+/// across threads; the engine's DocumentStore (engine/document_store.h)
+/// hands out `DocumentPtr` (shared_ptr<const Document>) handles on that
+/// basis. Every evaluator entry point (xpath/cq/datalog/fo) has a
+/// Document-taking overload.
+
+namespace treeq {
+
+class Document {
+ public:
+  /// Takes ownership of `tree`; orders are computed on first orders() call.
+  explicit Document(Tree tree) : tree_(std::move(tree)) {}
+
+  /// Takes ownership of both. `orders` must have been computed from `tree`.
+  Document(Tree tree, TreeOrders orders)
+      : tree_(std::move(tree)),
+        orders_(std::move(orders)),
+        computed_(true) {}
+
+  /// Not copyable/movable (the lazy-init state pins the address); construct
+  /// in place or use MakeDocument for a shared handle.
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  const Tree& tree() const { return tree_; }
+  int num_nodes() const { return tree_.num_nodes(); }
+
+  /// The three total orders, depth and subtree sizes (tree/orders.h).
+  /// Computed at most once; concurrent first calls are safe.
+  const TreeOrders& orders() const {
+    if (!computed_.load(std::memory_order_acquire)) {
+      std::call_once(once_, [this] {
+        orders_ = ComputeOrders(tree_);
+        computed_.store(true, std::memory_order_release);
+      });
+    }
+    return orders_;
+  }
+
+  /// True once orders are available without computation (supplied at
+  /// construction or already computed by some thread).
+  bool orders_computed() const {
+    return computed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  Tree tree_;
+  mutable std::once_flag once_;
+  mutable TreeOrders orders_;
+  mutable std::atomic<bool> computed_{false};
+};
+
+/// Shared read-only handle to a Document. The engine APIs traffic in these.
+using DocumentPtr = std::shared_ptr<const Document>;
+
+/// Builds a shared Document from a tree, orders computed lazily.
+inline DocumentPtr MakeDocument(Tree tree) {
+  return std::make_shared<Document>(std::move(tree));
+}
+
+/// Builds a shared Document with orders precomputed eagerly (what the
+/// DocumentStore does, so serving threads never race on first access).
+inline DocumentPtr MakeDocumentWithOrders(Tree tree) {
+  TreeOrders orders = ComputeOrders(tree);
+  return std::make_shared<Document>(std::move(tree), std::move(orders));
+}
+
+}  // namespace treeq
+
+#endif  // TREEQ_TREE_DOCUMENT_H_

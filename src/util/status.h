@@ -22,6 +22,7 @@ enum class StatusCode {
   kNotFound,
   kUnsupported,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "InvalidArgument",
@@ -53,6 +54,11 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// A resource that exists but is not currently serving (e.g. submitting
+  /// to an executor that has shut down).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

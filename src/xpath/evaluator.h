@@ -2,6 +2,7 @@
 #define TREEQ_XPATH_EVALUATOR_H_
 
 #include "tree/axes.h"
+#include "tree/document.h"
 #include "tree/orders.h"
 #include "tree/tree.h"
 #include "xpath/ast.h"
@@ -38,6 +39,22 @@ NodeSet EvalPathExists(const Tree& tree, const TreeOrders& orders,
 /// The unary Core XPath query [[path]](root) (Section 3).
 NodeSet EvalQueryFromRoot(const Tree& tree, const TreeOrders& orders,
                           const PathExpr& path);
+
+/// Document-taking overloads (tree/document.h); thin forwarders.
+inline NodeSet EvalPath(const Document& doc, const PathExpr& path,
+                        const NodeSet& context) {
+  return EvalPath(doc.tree(), doc.orders(), path, context);
+}
+inline NodeSet EvalQualifier(const Document& doc, const Qualifier& q) {
+  return EvalQualifier(doc.tree(), doc.orders(), q);
+}
+inline NodeSet EvalPathExists(const Document& doc, const PathExpr& path,
+                              const NodeSet& target) {
+  return EvalPathExists(doc.tree(), doc.orders(), path, target);
+}
+inline NodeSet EvalQueryFromRoot(const Document& doc, const PathExpr& path) {
+  return EvalQueryFromRoot(doc.tree(), doc.orders(), path);
+}
 
 }  // namespace xpath
 }  // namespace treeq

@@ -1,0 +1,318 @@
+// Tests for the serving engine: Plan compile/run parity with the direct
+// evaluators, PlanCache LRU semantics, and Executor concurrency.
+
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cq/dichotomy.h"
+#include "cq/parser.h"
+#include "datalog/evaluator.h"
+#include "datalog/parser.h"
+#include "fo/corollary52.h"
+#include "fo/parser.h"
+#include "obs/stats.h"
+#include "tree/generator.h"
+#include "tree/xml.h"
+#include "util/random.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace treeq {
+namespace engine {
+namespace {
+
+DocumentPtr Catalog(int seed = 1, int products = 40) {
+  Rng rng(static_cast<uint64_t>(seed));
+  CatalogOptions opts;
+  opts.num_products = products;
+  return MakeDocumentWithOrders(CatalogDocument(&rng, opts));
+}
+
+TEST(PlanTest, XPathPlanMatchesDirectEvaluator) {
+  DocumentPtr doc = Catalog();
+  const std::string query = "/catalog/product[reviews/review]/name";
+  Result<PlanPtr> plan = Plan::Compile(Language::kXPath, query);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  Result<QueryResult> got = (*plan)->Run(*doc);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got->is_boolean);
+
+  auto ast = xpath::ParseXPath(query).value();
+  NodeSet expected = xpath::EvalQueryFromRoot(*doc, *ast);
+  EXPECT_EQ(got->nodes, expected);
+  EXPECT_EQ(got->cardinality(), static_cast<size_t>(expected.size()));
+}
+
+TEST(PlanTest, DatalogPlanMatchesDirectEvaluator) {
+  DocumentPtr doc = Catalog();
+  const std::string program = R"(
+    Good(x) :- Lab_rating5(x).
+    HasGood(x) :- Child(x, y), Good(y).
+    ?- HasGood.
+  )";
+  Result<PlanPtr> plan = Plan::Compile(Language::kDatalog, program);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  Result<QueryResult> got = (*plan)->Run(*doc);
+  ASSERT_TRUE(got.ok());
+
+  auto ast = datalog::ParseProgram(program).value();
+  NodeSet expected = datalog::EvaluateDatalog(ast, *doc).value();
+  EXPECT_EQ(got->nodes, expected);
+}
+
+TEST(PlanTest, BooleanCqPlanUsesDichotomy) {
+  DocumentPtr doc = Catalog();
+  const std::string query =
+      "Q() :- Child+(x, y), Lab_product(x), Lab_review(y).";
+  Result<PlanPtr> plan = Plan::Compile(Language::kCq, query);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // Child+ alone is tau_1: the X-property route.
+  EXPECT_EQ((*plan)->cq_class(), cq::SignatureClass::kTau1);
+  Result<QueryResult> got = (*plan)->Run(*doc);
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->is_boolean);
+
+  auto ast = cq::ParseCq(query).value();
+  EXPECT_EQ(got->boolean, cq::EvaluateBooleanDichotomy(ast, *doc).value());
+  EXPECT_TRUE(got->boolean);
+}
+
+TEST(PlanTest, KAryCqPlanEnumerates) {
+  DocumentPtr doc = Catalog();
+  const std::string query =
+      "Q(p, r) :- Child+(p, r), Lab_product(p), Lab_review(r).";
+  Result<PlanPtr> plan = Plan::Compile(Language::kCq, query);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  Result<QueryResult> got = (*plan)->Run(*doc);
+  ASSERT_TRUE(got.ok());
+  EXPECT_FALSE(got->is_boolean);
+  EXPECT_GT(got->tuples.size(), 0u);
+  EXPECT_EQ(got->cardinality(), got->tuples.size());
+}
+
+TEST(PlanTest, NonTreeShapedKAryCqRejectedAtCompile) {
+  // A cycle: x-y-z-x. Boolean cycles route to backtracking, but k-ary
+  // plans require tree shape and must fail at compile time, not run time.
+  Result<PlanPtr> plan = Plan::Compile(
+      Language::kCq,
+      "Q(x) :- Child(x, y), Child(y, z), Child+(x, z).");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(PlanTest, FoSentencePlans) {
+  DocumentPtr doc = Catalog();
+  const std::string positive =
+      "exists x . exists y . (Child(x, y) and Lab_review(x) and "
+      "Lab_rating5(y))";
+  Result<PlanPtr> plan = Plan::Compile(Language::kFo, positive);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_TRUE((*plan)->fo_positive());
+  Result<QueryResult> got = (*plan)->Run(*doc);
+  ASSERT_TRUE(got.ok());
+  auto ast = fo::ParseFo(positive).value();
+  EXPECT_EQ(got->boolean, fo::EvaluateSentencePositive(*ast, *doc).value());
+
+  // Negation: still a valid plan, routed to the naive oracle.
+  Result<PlanPtr> negated =
+      Plan::Compile(Language::kFo, "forall x . not Lab_nosuchlabel(x)");
+  ASSERT_TRUE(negated.ok()) << negated.status().ToString();
+  EXPECT_FALSE((*negated)->fo_positive());
+  Result<QueryResult> neg = (*negated)->Run(*doc);
+  ASSERT_TRUE(neg.ok());
+  EXPECT_TRUE(neg->boolean);
+
+  // Free variables are not servable.
+  Result<PlanPtr> open = Plan::Compile(Language::kFo, "Lab_a(x)");
+  ASSERT_FALSE(open.ok());
+  EXPECT_EQ(open.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(PlanTest, CompileErrorsKeepParserShape) {
+  Result<PlanPtr> bad = Plan::Compile(Language::kXPath, "//a[");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kParseError);
+  EXPECT_NE(bad.status().message().find(" at offset "), std::string::npos);
+}
+
+TEST(PlanCacheTest, HitMissAndLru) {
+  PlanCache cache(2);
+  EXPECT_EQ(cache.capacity(), 2u);
+
+  Result<PlanPtr> a = cache.GetOrCompile(Language::kXPath, "//a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // Hit returns the same plan object.
+  Result<PlanPtr> a2 = cache.GetOrCompile(Language::kXPath, "//a");
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a2.value().get(), a.value().get());
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Same text under a different language is a different key.
+  ASSERT_TRUE(cache.GetOrCompile(Language::kCq,
+                                 "Q() :- Lab_a(x).").ok());
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Touch //a so the CQ entry is LRU, then insert a third plan.
+  ASSERT_TRUE(cache.GetOrCompile(Language::kXPath, "//a").ok());
+  ASSERT_TRUE(cache.GetOrCompile(Language::kXPath, "//b").ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Lookup(Language::kXPath, "//a").has_value());
+  EXPECT_FALSE(cache.Lookup(Language::kCq, "Q() :- Lab_a(x).").has_value());
+}
+
+TEST(PlanCacheTest, CompileErrorsAreNotCached) {
+  PlanCache cache(4);
+  for (int i = 0; i < 3; ++i) {
+    Result<PlanPtr> bad = cache.GetOrCompile(Language::kXPath, "//a[");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kParseError);
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
+TEST(PlanCacheTest, ConcurrentGetOrCompile) {
+  PlanCache cache(16);
+  std::vector<std::string> queries = {"//a", "//b", "//c", "//d"};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&cache, &queries] {
+      for (int i = 0; i < 200; ++i) {
+        auto r = cache.GetOrCompile(Language::kXPath, queries[i % 4]);
+        ASSERT_TRUE(r.ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.hits() + cache.misses(), 8u * 200u);
+  EXPECT_GE(cache.hits(), 8u * 200u - 8u * 4u);  // at most one miss per (thread, key)
+}
+
+TEST(ExecutorTest, SingleRequest) {
+  DocumentPtr doc = Catalog();
+  PlanPtr plan =
+      Plan::Compile(Language::kXPath, "//review/rating5").value();
+  Executor exec(Executor::Options{.num_workers = 2, .queue_capacity = 8});
+  EXPECT_EQ(exec.num_workers(), 2);
+  std::future<Result<QueryResult>> f = exec.Submit(plan, doc);
+  Result<QueryResult> r = f.get();
+  ASSERT_TRUE(r.ok());
+  auto ast = xpath::ParseXPath("//review/rating5").value();
+  EXPECT_EQ(r->nodes, xpath::EvalQueryFromRoot(*doc, *ast));
+}
+
+TEST(ExecutorTest, NullPlanOrDocumentFailsCleanly) {
+  DocumentPtr doc = Catalog();
+  PlanPtr plan = Plan::Compile(Language::kXPath, "//a").value();
+  Executor exec(Executor::Options{.num_workers = 1, .queue_capacity = 4});
+  EXPECT_EQ(exec.Submit(nullptr, doc).get().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(exec.Submit(plan, nullptr).get().status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExecutorTest, MixedBatchMatchesSequentialEvaluation) {
+  std::vector<DocumentPtr> docs = {Catalog(1), Catalog(2), Catalog(3)};
+  std::vector<PlanPtr> plans = {
+      Plan::Compile(Language::kXPath, "//product[reviews]/name").value(),
+      Plan::Compile(Language::kCq,
+                    "Q() :- Child+(x, y), Lab_product(x), Lab_rating1(y).")
+          .value(),
+      Plan::Compile(Language::kDatalog,
+                    "P(x) :- Lab_para(x).\n?- P.").value(),
+      Plan::Compile(Language::kFo,
+                    "exists x . Lab_price(x)").value(),
+  };
+
+  std::vector<Request> requests;
+  for (size_t d = 0; d < docs.size(); ++d) {
+    for (size_t p = 0; p < plans.size(); ++p) {
+      requests.push_back(Request{plans[p], docs[d]});
+    }
+  }
+
+  Executor exec(Executor::Options{.num_workers = 4, .queue_capacity = 4});
+  std::vector<Result<QueryResult>> results = exec.RunBatch(requests);
+  ASSERT_EQ(results.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    Result<QueryResult> expected =
+        requests[i].plan->Run(*requests[i].document);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(results[i]->is_boolean, expected->is_boolean);
+    EXPECT_EQ(results[i]->boolean, expected->boolean);
+    EXPECT_EQ(results[i]->nodes, expected->nodes);
+    EXPECT_EQ(results[i]->tuples, expected->tuples);
+  }
+}
+
+TEST(ExecutorTest, ManyRequestsThroughSmallQueue) {
+  // More requests than queue slots: Submit must backpressure, not deadlock
+  // or drop.
+  DocumentPtr doc = Catalog(5, 10);
+  PlanPtr plan = Plan::Compile(Language::kXPath, "//name").value();
+  Executor exec(Executor::Options{.num_workers = 3, .queue_capacity = 2});
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (int i = 0; i < 200; ++i) futures.push_back(exec.Submit(plan, doc));
+  int expected = -1;
+  for (auto& f : futures) {
+    Result<QueryResult> r = f.get();
+    ASSERT_TRUE(r.ok());
+    if (expected < 0) expected = r->nodes.size();
+    EXPECT_EQ(r->nodes.size(), expected);
+  }
+}
+
+#ifndef TREEQ_OBS_DISABLED
+// Counter exactness only holds when the TREEQ_OBS_* macros are live.
+TEST(ExecutorTest, StatsMergedWhenFuturesReady) {
+  obs::StatsRegistry& reg = obs::StatsRegistry::Global();
+  reg.Reset();
+  DocumentPtr doc = Catalog();
+  PlanPtr plan = Plan::Compile(Language::kXPath, "//name").value();
+  constexpr int kRequests = 50;
+  {
+    Executor exec(Executor::Options{.num_workers = 4, .queue_capacity = 16});
+    std::vector<Request> requests(kRequests, Request{plan, doc});
+    auto results = exec.RunBatch(std::move(requests));
+    ASSERT_EQ(results.size(), static_cast<size_t>(kRequests));
+    // All futures ready => every worker's shadow deltas are merged.
+    EXPECT_EQ(reg.CounterValue("engine.exec.requests"),
+              static_cast<uint64_t>(kRequests));
+    EXPECT_EQ(reg.CounterValue("engine.exec.xpath_requests"),
+              static_cast<uint64_t>(kRequests));
+    EXPECT_EQ(reg.CounterValue("engine.exec.errors"), 0u);
+  }
+  EXPECT_EQ(reg.CounterValue("engine.plan.runs"),
+            static_cast<uint64_t>(kRequests));
+}
+#endif  // TREEQ_OBS_DISABLED
+
+TEST(ExecutorTest, SubmitAfterShutdownFails) {
+  DocumentPtr doc = Catalog(7, 5);
+  PlanPtr plan = Plan::Compile(Language::kXPath, "//a").value();
+  auto exec = std::make_unique<Executor>(
+      Executor::Options{.num_workers = 1, .queue_capacity = 2});
+  // Exercise normal path, then destroy and verify nothing hangs. (Submit
+  // after destruction is UB like any use-after-free; what we guarantee is
+  // that destruction itself drains cleanly with requests in flight.)
+  std::vector<std::future<Result<QueryResult>>> futures;
+  for (int i = 0; i < 20; ++i) futures.push_back(exec->Submit(plan, doc));
+  exec.reset();  // close + drain + join
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace treeq

@@ -1,0 +1,214 @@
+// Stress tests for the StatsRegistry under many threads: counters (direct
+// and shadow-buffered), gauges, histograms, and span trees hammered from N
+// threads must produce exact totals once every thread has merged. These are
+// the tests the CI ThreadSanitizer job runs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/span.h"
+#include "obs/stats.h"
+
+namespace treeq {
+namespace obs {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kItersPerThread = 20'000;
+
+TEST(ObsConcurrencyTest, DirectCounterAddsFromManyThreadsAreExact) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  Counter* counter = reg.GetCounter("stress.direct");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kItersPerThread; ++i) counter->Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.CounterValue("stress.direct"),
+            static_cast<uint64_t>(kThreads) * kItersPerThread);
+}
+
+TEST(ObsConcurrencyTest, ShadowCountersMergeToExactTotals) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  Counter* a = reg.GetCounter("stress.shadow_a");
+  Counter* b = reg.GetCounter("stress.shadow_b");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([a, b] {
+      ShadowCounters shadow;
+      for (int i = 0; i < kItersPerThread; ++i) {
+        a->Increment();       // buffered in this thread's shadow
+        if (i % 2 == 0) b->Add(3);
+      }
+      // Destructor flushes the buffered deltas.
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.CounterValue("stress.shadow_a"),
+            static_cast<uint64_t>(kThreads) * kItersPerThread);
+  EXPECT_EQ(reg.CounterValue("stress.shadow_b"),
+            static_cast<uint64_t>(kThreads) * (kItersPerThread / 2) * 3);
+}
+
+TEST(ObsConcurrencyTest, ShadowBufferingIsInvisibleUntilFlush) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  Counter* counter = reg.GetCounter("stress.unflushed");
+  {
+    ShadowCounters shadow;
+    counter->Add(41);
+    EXPECT_EQ(reg.CounterValue("stress.unflushed"), 0u)
+        << "buffered adds must not touch the shared counter";
+    shadow.Flush();
+    EXPECT_EQ(reg.CounterValue("stress.unflushed"), 41u);
+    counter->Add(1);
+  }  // destructor flush
+  EXPECT_EQ(reg.CounterValue("stress.unflushed"), 42u);
+}
+
+TEST(ObsConcurrencyTest, NestedShadowsRestoreOuter) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  Counter* counter = reg.GetCounter("stress.nested");
+  ShadowCounters outer;
+  EXPECT_EQ(ShadowCounters::Current(), &outer);
+  {
+    ShadowCounters inner;
+    EXPECT_EQ(ShadowCounters::Current(), &inner);
+    counter->Add(5);
+  }  // inner flushes straight to the shared counter, not into outer
+  EXPECT_EQ(ShadowCounters::Current(), &outer);
+  EXPECT_EQ(reg.CounterValue("stress.nested"), 5u);
+  counter->Add(7);
+  outer.Flush();
+  EXPECT_EQ(reg.CounterValue("stress.nested"), 12u);
+}
+
+TEST(ObsConcurrencyTest, MixedShadowAndDirectThreadsAgree) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  Counter* counter = reg.GetCounter("stress.mixed");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter, t] {
+      if (t % 2 == 0) {
+        ShadowCounters shadow;
+        for (int i = 0; i < kItersPerThread; ++i) counter->Increment();
+      } else {
+        for (int i = 0; i < kItersPerThread; ++i) counter->Increment();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.CounterValue("stress.mixed"),
+            static_cast<uint64_t>(kThreads) * kItersPerThread);
+}
+
+TEST(ObsConcurrencyTest, GaugeMaxFromManyThreads) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  Gauge* gauge = reg.GetGauge("stress.gauge");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([gauge, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        gauge->RecordMax(static_cast<uint64_t>(t) * kItersPerThread + i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.GaugeValue("stress.gauge"),
+            static_cast<uint64_t>(kThreads) * kItersPerThread - 1);
+}
+
+TEST(ObsConcurrencyTest, HistogramTotalsFromManyThreads) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  Histogram* histogram = reg.GetHistogram("stress.histogram");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        histogram->Record(static_cast<uint64_t>(i % 1024));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  HistogramSnapshot snap = reg.HistogramValues().at("stress.histogram");
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kItersPerThread);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 1023u);
+  uint64_t per_thread_sum = 0;
+  for (int i = 0; i < kItersPerThread; ++i) per_thread_sum += i % 1024;
+  EXPECT_EQ(snap.sum, static_cast<uint64_t>(kThreads) * per_thread_sum);
+}
+
+TEST(ObsConcurrencyTest, SpanTreeFromManyThreadsHasExactCounts) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  constexpr int kSpansPerThread = 2'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan outer("stress.span.outer");
+        ScopedSpan inner("stress.span.inner");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  uint64_t outer_count = 0;
+  uint64_t inner_count = 0;
+  for (const SpanSnapshot& span : reg.SpanTree()) {
+    if (span.name != "stress.span.outer") continue;
+    outer_count += span.count;
+    for (const SpanSnapshot& child : span.children) {
+      if (child.name == "stress.span.inner") inner_count += child.count;
+    }
+  }
+  EXPECT_EQ(outer_count, static_cast<uint64_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(inner_count, static_cast<uint64_t>(kThreads) * kSpansPerThread);
+}
+
+TEST(ObsConcurrencyTest, ConcurrentRegistrationAndSnapshots) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  std::atomic<bool> stop{false};
+  // Snapshot readers race with writers registering fresh names.
+  std::thread reader([&reg, &stop] {
+    while (!stop.load()) {
+      (void)reg.CounterValues();
+      (void)reg.SpanTree();
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&reg, t] {
+      for (int i = 0; i < 500; ++i) {
+        std::string name =
+            "stress.reg." + std::to_string(t) + "." + std::to_string(i % 50);
+        reg.GetCounter(name)->Increment();
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true);
+  reader.join();
+  uint64_t total = 0;
+  for (const auto& [name, value] : reg.CounterValues()) {
+    if (name.rfind("stress.reg.", 0) == 0) total += value;
+  }
+  EXPECT_EQ(total, 4u * 500u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace treeq
