@@ -85,21 +85,21 @@ constexpr int kInf = INT32_MAX;
 class TwigStackRunner {
  public:
   TwigStackRunner(const TwigPattern& pattern, const Tree& tree,
-                  const TreeOrders& orders, TwigStats* stats)
-      : pattern_(pattern), tree_(tree), orders_(orders), stats_(stats) {
+                  const LabelIndex& index, TwigStats* stats)
+      : pattern_(pattern), stats_(stats) {
     const int m = static_cast<int>(pattern.nodes.size());
     children_.resize(m);
     for (int i = 1; i < m; ++i) {
       children_[pattern.nodes[i].parent].push_back(i);
     }
-    streams_.resize(m);
     cursor_.assign(m, 0);
     stacks_.resize(m);
+    // Per-pattern-node streams are borrowed from the label index: no arena
+    // scan and no sort per node.
+    streams_.reserve(m);
     for (int i = 0; i < m; ++i) {
       LabelId label = tree.label_table().Lookup(pattern.nodes[i].label);
-      if (label != kNullLabel) {
-        streams_[i] = MakeJoinItemsForLabel(tree, orders, label);
-      }
+      streams_.push_back(&index.Items(label));
     }
   }
 
@@ -142,9 +142,9 @@ class TwigStackRunner {
   };
 
   bool Exhausted(int q) const {
-    return cursor_[q] >= streams_[q].size();
+    return cursor_[q] >= streams_[q]->size();
   }
-  const JoinItem& Head(int q) const { return streams_[q][cursor_[q]]; }
+  const JoinItem& Head(int q) const { return (*streams_[q])[cursor_[q]]; }
   int NextL(int q) const { return Exhausted(q) ? kInf : Head(q).pre; }
   int NextEnd(int q) const { return Exhausted(q) ? kInf : Head(q).end; }
 
@@ -291,11 +291,9 @@ class TwigStackRunner {
   }
 
   const TwigPattern& pattern_;
-  const Tree& tree_;
-  const TreeOrders& orders_;
   TwigStats* stats_;
   std::vector<std::vector<int>> children_;
-  std::vector<std::vector<JoinItem>> streams_;
+  std::vector<const std::vector<JoinItem>*> streams_;
   std::vector<size_t> cursor_;
   std::vector<std::vector<StackEntry>> stacks_;
   std::map<int, JoinItem> chosen_items_;
@@ -306,18 +304,32 @@ class TwigStackRunner {
 }  // namespace
 
 Result<TupleSet> TwigStackJoin(const TwigPattern& pattern, const Tree& tree,
-                               const TreeOrders& orders, TwigStats* stats) {
+                               const TreeOrders& /*orders*/,
+                               const LabelIndex& index, TwigStats* stats) {
   TREEQ_RETURN_IF_ERROR(pattern.Validate());
   TREEQ_OBS_SPAN("cq.twig.twigstack");
-  TwigStackRunner runner(pattern, tree, orders, stats);
+  TwigStackRunner runner(pattern, tree, index, stats);
   TupleSet result = runner.Run();
   TREEQ_OBS_COUNT("cq.twig.output_tuples", result.size());
   return result;
 }
 
+Result<TupleSet> TwigStackJoin(const TwigPattern& pattern, const Tree& tree,
+                               const TreeOrders& orders, TwigStats* stats) {
+  LabelIndex index(tree, orders);
+  return TwigStackJoin(pattern, tree, orders, index, stats);
+}
+
+Result<TupleSet> TwigStackJoin(const TwigPattern& pattern,
+                               const Document& doc, TwigStats* stats) {
+  return TwigStackJoin(pattern, doc.tree(), doc.orders(), doc.label_index(),
+                       stats);
+}
+
 Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
                                        const Tree& tree,
                                        const TreeOrders& orders,
+                                       const LabelIndex& index,
                                        TwigStats* stats) {
   TREEQ_RETURN_IF_ERROR(pattern.Validate());
   TREEQ_OBS_SPAN("cq.twig.structural_joins");
@@ -329,9 +341,7 @@ Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
   std::vector<TupleSet> partial(m);
   for (int q = m - 1; q >= 0; --q) {
     LabelId label = tree.label_table().Lookup(pattern.nodes[q].label);
-    std::vector<JoinItem> self_items =
-        label == kNullLabel ? std::vector<JoinItem>{}
-                            : MakeJoinItemsForLabel(tree, orders, label);
+    const std::vector<JoinItem>& self_items = index.Items(label);
     // Start with the node's own matches.
     TupleSet tuples;
     for (const JoinItem& item : self_items) {
@@ -383,6 +393,21 @@ Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
   TupleSet result = std::move(partial[0]);
   CanonicalizeTuples(&result);
   return result;
+}
+
+Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
+                                       const Tree& tree,
+                                       const TreeOrders& orders,
+                                       TwigStats* stats) {
+  LabelIndex index(tree, orders);
+  return TwigByStructuralJoins(pattern, tree, orders, index, stats);
+}
+
+Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
+                                       const Document& doc,
+                                       TwigStats* stats) {
+  return TwigByStructuralJoins(pattern, doc.tree(), doc.orders(),
+                               doc.label_index(), stats);
 }
 
 }  // namespace cq

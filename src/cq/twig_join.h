@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "cq/ast.h"
+#include "tree/document.h"
+#include "tree/label_index.h"
 #include "tree/orders.h"
 #include "util/status.h"
 
@@ -63,16 +65,36 @@ struct TwigStats {
 
 /// TwigStack: all matches of `pattern`, one tuple per match with arity
 /// |pattern| (tuple[i] = document node matched by pattern node i).
+///
+/// Label streams come from `index` (tree/label_index.h): one index build
+/// serves every pattern node, instead of one arena scan + sort per node.
+/// The (tree, orders) overload builds a throwaway index; the Document
+/// overload reuses the document's cached one.
 Result<TupleSet> TwigStackJoin(const TwigPattern& pattern, const Tree& tree,
                                const TreeOrders& orders,
+                               const LabelIndex& index,
+                               TwigStats* stats = nullptr);
+Result<TupleSet> TwigStackJoin(const TwigPattern& pattern, const Tree& tree,
+                               const TreeOrders& orders,
+                               TwigStats* stats = nullptr);
+Result<TupleSet> TwigStackJoin(const TwigPattern& pattern,
+                               const Document& doc,
                                TwigStats* stats = nullptr);
 
 /// Baseline: decompose the twig into binary (parent, child) structural
 /// joins, evaluate each with the stack-tree merge of storage/, and hash-join
-/// the edge results bottom-up.
+/// the edge results bottom-up. Same label-stream routing as TwigStackJoin.
 Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
                                        const Tree& tree,
                                        const TreeOrders& orders,
+                                       const LabelIndex& index,
+                                       TwigStats* stats = nullptr);
+Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
+                                       const Tree& tree,
+                                       const TreeOrders& orders,
+                                       TwigStats* stats = nullptr);
+Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
+                                       const Document& doc,
                                        TwigStats* stats = nullptr);
 
 }  // namespace cq

@@ -29,7 +29,10 @@ struct JoinItem {
 std::vector<JoinItem> MakeJoinItems(const TreeOrders& orders,
                                     const std::vector<NodeId>& nodes);
 
-/// Builds join input items for all nodes carrying `label`.
+/// Builds join input items for all nodes carrying `label`. One arena scan +
+/// sort per call; when joining on several labels of one document, build a
+/// LabelIndex (tree/label_index.h) instead and borrow its Items(label)
+/// streams — one scan, already sorted.
 std::vector<JoinItem> MakeJoinItemsForLabel(const Tree& tree,
                                             const TreeOrders& orders,
                                             LabelId label);

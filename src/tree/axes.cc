@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace treeq {
 
 Axis InverseAxis(Axis axis) {
@@ -217,119 +219,100 @@ bool AxisHolds(const Tree& tree, const TreeOrders& orders, Axis axis, NodeId u,
   return false;
 }
 
-void NodeSet::UnionWith(const NodeSet& other) {
-  TREEQ_CHECK(universe() == other.universe());
-  for (int i = 0; i < universe(); ++i) {
-    if (other.bits_[i]) Insert(i);
-  }
-}
-
-void NodeSet::IntersectWith(const NodeSet& other) {
-  TREEQ_CHECK(universe() == other.universe());
-  for (int i = 0; i < universe(); ++i) {
-    if (bits_[i] && !other.bits_[i]) Erase(i);
-  }
-}
-
-void NodeSet::Complement() {
-  for (int i = 0; i < universe(); ++i) {
-    bits_[i] = bits_[i] ? 0 : 1;
-  }
-  count_ = universe() - count_;
-}
-
-std::vector<NodeId> NodeSet::ToVector() const {
-  std::vector<NodeId> out;
-  out.reserve(count_);
-  for (int i = 0; i < universe(); ++i) {
-    if (bits_[i]) out.push_back(i);
-  }
-  return out;
-}
-
-NodeSet NodeSet::FromVector(int universe, const std::vector<NodeId>& nodes) {
-  NodeSet s(universe);
-  for (NodeId n : nodes) s.Insert(n);
-  return s;
-}
-
-NodeSet NodeSet::All(int universe) {
-  NodeSet s(universe);
-  for (NodeId n = 0; n < universe; ++n) s.Insert(n);
-  return s;
-}
-
-NodeSet NodeSet::Singleton(int universe, NodeId n) {
-  NodeSet s(universe);
-  s.Insert(n);
-  return s;
-}
-
 namespace {
 
-// Marks descendants of `from` nodes: one pre-order pass.
-void DescendantImage(const Tree& tree, const TreeOrders& orders,
-                     const NodeSet& from, bool include_self, NodeSet* to) {
-  for (int i = 0; i < orders.num_nodes(); ++i) {
-    NodeId v = orders.node_at_pre[i];
-    NodeId p = tree.parent(v);
-    if (include_self && from.Contains(v)) {
-      to->Insert(v);
-      continue;
+// Inserts the nodes at pre ranks [begin, end) into `to`: a word fill when
+// node ids coincide with pre ranks, a rank->node remap otherwise.
+void InsertPreRange(const TreeOrders& orders, int begin, int end,
+                    NodeSet* to) {
+  if (orders.pre_is_identity) {
+    to->InsertRange(begin, end);
+    return;
+  }
+  for (int i = begin; i < end; ++i) to->Insert(orders.node_at_pre[i]);
+}
+
+// Marks descendants of `from` nodes. Subtrees are contiguous pre ranges, so
+// the image is a union of word-filled ranges; ranges nested inside an
+// already-covered subtree are skipped (subtree ranges form a laminar
+// family, so after skipping, fills never overlap). Members must be visited
+// in increasing pre rank: node-id order when pre_is_identity, otherwise via
+// a scratch bitmap over pre ranks (bit enumeration is rank order for free —
+// no comparator sort).
+void DescendantImage(const TreeOrders& orders, const NodeSet& from,
+                     bool include_self, NodeSet* to) {
+  int covered = 0;  // pre ranks below this are already marked
+  auto visit = [&](int rank, NodeId u) {
+    const int end = orders.SubtreeEndPre(u);
+    if (end <= covered) return;
+    InsertPreRange(orders, rank + (include_self ? 0 : 1), end, to);
+    covered = end;
+  };
+  if (orders.pre_is_identity) {
+    from.ForEachMember([&](NodeId u) { visit(u, u); });
+  } else if (from.size() * 8 >= orders.num_nodes()) {
+    // Dense members: scan pre ranks directly and leap to the end of each
+    // inserted subtree range — every rank the loop lands on is outside all
+    // ranges inserted so far, so the probe count is n minus the inserted
+    // mass, without materializing a rank-space copy of `from`.
+    const int n = orders.num_nodes();
+    for (int i = 0; i < n;) {
+      NodeId v = orders.node_at_pre[i];
+      if (from.Contains(v)) {
+        InsertPreRange(orders, i + (include_self ? 0 : 1),
+                       orders.SubtreeEndPre(v), to);
+        i = orders.SubtreeEndPre(v);  // SubtreeEndPre > pre: always advances
+      } else {
+        ++i;
+      }
     }
-    if (p != kNullNode && (from.Contains(p) || to->Contains(p))) {
-      to->Insert(v);
-    }
+  } else {
+    // Sparse members: remap them into rank space first so the watermark
+    // scan touches O(|from| + n/64) words instead of probing every rank.
+    NodeSet by_pre(orders.num_nodes());
+    from.ForEachMember([&](NodeId u) { by_pre.Insert(orders.pre[u]); });
+    by_pre.ForEachMember(
+        [&](NodeId rank) { visit(rank, orders.node_at_pre[rank]); });
   }
 }
 
-// Marks ancestors of `from` nodes: one post-order pass.
-void AncestorImage(const Tree& tree, const TreeOrders& orders,
-                   const NodeSet& from, bool include_self, NodeSet* to) {
-  // has_in_subtree[v]: subtree of v contains a `from` node.
-  std::vector<char> has(orders.num_nodes(), 0);
-  for (int i = 0; i < orders.num_nodes(); ++i) {
-    NodeId v = orders.node_at_post[i];
-    char h = from.Contains(v) ? 1 : 0;
-    char child_has = 0;
-    for (NodeId c = tree.first_child(v); c != kNullNode;
-         c = tree.next_sibling(c)) {
-      child_has |= has[c];
+// Marks ancestors of `from` nodes by walking parent chains, stopping at the
+// first node already marked (its ancestors are marked too): O(|from| +
+// |image|) instead of a full post-order pass.
+void AncestorImage(const Tree& tree, const NodeSet& from, bool include_self,
+                   NodeSet* to) {
+  from.ForEachMember([&](NodeId u) {
+    for (NodeId p = tree.parent(u); p != kNullNode && !to->Contains(p);
+         p = tree.parent(p)) {
+      to->Insert(p);
     }
-    has[v] = h | child_has;
-    if (child_has || (include_self && from.Contains(v))) to->Insert(v);
-  }
+  });
+  if (include_self) to->UnionWith(from);
 }
 
+// Marks the forward (or backward) sibling chain of every member, with the
+// same early-exit discipline as AncestorImage: a marked sibling implies the
+// rest of its chain is marked.
 void SiblingChainImage(const Tree& tree, const NodeSet& from, bool forward,
                        bool include_self, NodeSet* to) {
-  const int n = tree.num_nodes();
-  for (NodeId head = 0; head < n; ++head) {
-    if (!tree.IsFirstSibling(head)) continue;
-    // Collect the sibling chain once.
-    std::vector<NodeId> chain;
-    for (NodeId s = head; s != kNullNode; s = tree.next_sibling(s)) {
-      chain.push_back(s);
-    }
+  from.ForEachMember([&](NodeId u) {
     if (forward) {
-      bool flag = false;
-      for (NodeId s : chain) {
-        if (flag || (include_self && from.Contains(s))) to->Insert(s);
-        flag = flag || from.Contains(s);
+      for (NodeId s = tree.next_sibling(u);
+           s != kNullNode && !to->Contains(s); s = tree.next_sibling(s)) {
+        to->Insert(s);
       }
     } else {
-      bool flag = false;
-      for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-        if (flag || (include_self && from.Contains(*it))) to->Insert(*it);
-        flag = flag || from.Contains(*it);
+      for (NodeId s = tree.prev_sibling(u);
+           s != kNullNode && !to->Contains(s); s = tree.prev_sibling(s)) {
+        to->Insert(s);
       }
     }
-  }
+  });
+  if (include_self) to->UnionWith(from);
 }
 
-// Siblings include the root (a one-element chain), which SiblingChainImage
-// visits because the root is a first sibling; following-sibling of the root
-// is empty, as required.
+// Siblings include the root (a one-element chain); following-sibling of the
+// root is empty, as required, because its next_sibling link is null.
 
 }  // namespace
 
@@ -338,46 +321,50 @@ void AxisImage(const Tree& tree, const TreeOrders& orders, Axis axis,
   const int n = tree.num_nodes();
   TREEQ_CHECK(from.universe() == n && to->universe() == n);
   to->Clear();
+  // Every kernel makes at least one skip-scan pass over `from`'s words.
+  TREEQ_OBS_COUNT("axes.words_scanned", from.num_words());
   switch (axis) {
     case Axis::kSelf:
       *to = from;
       return;
     case Axis::kChild:
-      for (NodeId v = 0; v < n; ++v) {
-        NodeId p = tree.parent(v);
-        if (p != kNullNode && from.Contains(p)) to->Insert(v);
-      }
+      from.ForEachMember([&](NodeId u) {
+        for (NodeId c = tree.first_child(u); c != kNullNode;
+             c = tree.next_sibling(c)) {
+          to->Insert(c);
+        }
+      });
       return;
     case Axis::kParent:
-      for (NodeId v = 0; v < n; ++v) {
-        if (from.Contains(v) && tree.parent(v) != kNullNode) {
-          to->Insert(tree.parent(v));
-        }
-      }
+      from.ForEachMember([&](NodeId u) {
+        if (tree.parent(u) != kNullNode) to->Insert(tree.parent(u));
+      });
       return;
     case Axis::kDescendant:
-      DescendantImage(tree, orders, from, /*include_self=*/false, to);
+      DescendantImage(orders, from, /*include_self=*/false, to);
       return;
     case Axis::kDescendantOrSelf:
-      DescendantImage(tree, orders, from, /*include_self=*/true, to);
+      DescendantImage(orders, from, /*include_self=*/true, to);
       return;
     case Axis::kAncestor:
-      AncestorImage(tree, orders, from, /*include_self=*/false, to);
+      AncestorImage(tree, from, /*include_self=*/false, to);
       return;
     case Axis::kAncestorOrSelf:
-      AncestorImage(tree, orders, from, /*include_self=*/true, to);
+      AncestorImage(tree, from, /*include_self=*/true, to);
       return;
     case Axis::kNextSibling:
-      for (NodeId v = 0; v < n; ++v) {
-        NodeId p = tree.prev_sibling(v);
-        if (p != kNullNode && from.Contains(p)) to->Insert(v);
-      }
+      from.ForEachMember([&](NodeId u) {
+        if (tree.next_sibling(u) != kNullNode) {
+          to->Insert(tree.next_sibling(u));
+        }
+      });
       return;
     case Axis::kPrevSibling:
-      for (NodeId v = 0; v < n; ++v) {
-        NodeId s = tree.next_sibling(v);
-        if (s != kNullNode && from.Contains(s)) to->Insert(v);
-      }
+      from.ForEachMember([&](NodeId u) {
+        if (tree.prev_sibling(u) != kNullNode) {
+          to->Insert(tree.prev_sibling(u));
+        }
+      });
       return;
     case Axis::kFollowingSibling:
       SiblingChainImage(tree, from, /*forward=*/true, /*include_self=*/false,
@@ -398,39 +385,55 @@ void AxisImage(const Tree& tree, const TreeOrders& orders, Axis axis,
     case Axis::kFollowing: {
       if (from.empty()) return;
       int threshold = n;  // pre rank from which nodes are in the image
-      for (NodeId u = 0; u < n; ++u) {
-        if (from.Contains(u)) {
+      if (orders.pre_is_identity) {
+        // Members arrive in pre order; once pre[u] >= threshold no later
+        // member's subtree can end earlier, so the scan stops at the first
+        // few set bits.
+        from.ForEachMemberWhile([&](NodeId u) {
+          if (u >= threshold) return false;
           threshold = std::min(threshold, orders.SubtreeEndPre(u));
-        }
+          return true;
+        });
+      } else {
+        from.ForEachMember([&](NodeId u) {
+          threshold = std::min(threshold, orders.SubtreeEndPre(u));
+        });
       }
-      for (int i = threshold; i < n; ++i) to->Insert(orders.node_at_pre[i]);
+      InsertPreRange(orders, threshold, n, to);
       return;
     }
     case Axis::kPreceding: {
       if (from.empty()) return;
-      int max_pre = -1;
-      for (NodeId v = 0; v < n; ++v) {
-        if (from.Contains(v)) max_pre = std::max(max_pre, orders.pre[v]);
+      // The image is determined by the member with the largest pre rank m:
+      // pre ranks [0, pre[m]) minus the proper ancestors of m.
+      NodeId m = kNullNode;
+      if (orders.pre_is_identity) {
+        m = from.LastMember();  // last set bit = largest pre rank
+      } else {
+        from.ForEachMember([&](NodeId u) {
+          if (m == kNullNode || orders.pre[u] > orders.pre[m]) m = u;
+        });
       }
-      for (NodeId u = 0; u < n; ++u) {
-        if (orders.SubtreeEndPre(u) <= max_pre) to->Insert(u);
+      InsertPreRange(orders, 0, orders.pre[m], to);
+      for (NodeId p = tree.parent(m); p != kNullNode; p = tree.parent(p)) {
+        to->Erase(p);
       }
       return;
     }
     case Axis::kFirstChild:
-      for (NodeId v = 0; v < n; ++v) {
-        if (from.Contains(v) && tree.first_child(v) != kNullNode) {
-          to->Insert(tree.first_child(v));
+      from.ForEachMember([&](NodeId u) {
+        if (tree.first_child(u) != kNullNode) {
+          to->Insert(tree.first_child(u));
         }
-      }
+      });
       return;
     case Axis::kFirstChildInv:
-      for (NodeId v = 0; v < n; ++v) {
-        if (from.Contains(v) && tree.prev_sibling(v) == kNullNode &&
-            tree.parent(v) != kNullNode) {
-          to->Insert(tree.parent(v));
+      from.ForEachMember([&](NodeId u) {
+        if (tree.prev_sibling(u) == kNullNode &&
+            tree.parent(u) != kNullNode) {
+          to->Insert(tree.parent(u));
         }
-      }
+      });
       return;
   }
   TREEQ_CHECK(false);

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <utility>
 
+#include "tree/label_index.h"
 #include "tree/orders.h"
 #include "tree/tree.h"
 
@@ -13,7 +14,9 @@
 /// A `Document` bundles a Tree with its precomputed TreeOrders in one
 /// immutable value, so callers stop threading `(tree, orders)` pairs through
 /// every evaluator. Orders are computed lazily on first access (thread-safe,
-/// exactly once) or can be supplied up front.
+/// exactly once) or can be supplied up front. The per-label inverted index
+/// (tree/label_index.h) is cached the same way, so repeated queries against
+/// one document never rescan the arena for label streams.
 ///
 /// A Document is immutable after construction and safe to share read-only
 /// across threads; the engine's DocumentStore (engine/document_store.h)
@@ -60,11 +63,31 @@ class Document {
     return computed_.load(std::memory_order_acquire);
   }
 
+  /// The per-label inverted index (tree/label_index.h). Built at most once,
+  /// lazily, from the cached orders; concurrent first calls are safe.
+  const LabelIndex& label_index() const {
+    if (!index_computed_.load(std::memory_order_acquire)) {
+      std::call_once(index_once_, [this] {
+        label_index_ = std::make_unique<LabelIndex>(tree_, orders());
+        index_computed_.store(true, std::memory_order_release);
+      });
+    }
+    return *label_index_;
+  }
+
+  /// True once the label index is available without computation.
+  bool label_index_computed() const {
+    return index_computed_.load(std::memory_order_acquire);
+  }
+
  private:
   Tree tree_;
   mutable std::once_flag once_;
   mutable TreeOrders orders_;
   mutable std::atomic<bool> computed_{false};
+  mutable std::once_flag index_once_;
+  mutable std::unique_ptr<LabelIndex> label_index_;
+  mutable std::atomic<bool> index_computed_{false};
 };
 
 /// Shared read-only handle to a Document. The engine APIs traffic in these.

@@ -1,0 +1,112 @@
+#include "tree/node_set.h"
+
+#include <algorithm>
+
+namespace treeq {
+
+void NodeSet::UnionWith(const NodeSet& other) {
+  TREEQ_CHECK(universe_ == other.universe_);
+  int c = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+    c += std::popcount(words_[i]);
+  }
+  count_ = c;
+}
+
+void NodeSet::IntersectWith(const NodeSet& other) {
+  TREEQ_CHECK(universe_ == other.universe_);
+  int c = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= other.words_[i];
+    c += std::popcount(words_[i]);
+  }
+  count_ = c;
+}
+
+void NodeSet::AndNotWith(const NodeSet& other) {
+  TREEQ_CHECK(universe_ == other.universe_);
+  int c = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~other.words_[i];
+    c += std::popcount(words_[i]);
+  }
+  count_ = c;
+}
+
+void NodeSet::Complement() {
+  if (words_.empty()) return;
+  for (uint64_t& w : words_) w = ~w;
+  words_.back() &= TailMask();
+  count_ = universe_ - count_;
+}
+
+void NodeSet::InsertRange(int begin, int end) {
+  begin = std::max(begin, 0);
+  end = std::min(end, universe_);
+  if (begin >= end) return;
+  const size_t first = WordOf(begin), last = WordOf(end - 1);
+  const uint64_t head = ~uint64_t{0} << BitOf(begin);
+  const uint64_t tail = ~uint64_t{0} >> (63 - BitOf(end - 1));
+  // Count is updated per touched word, keeping the cost proportional to the
+  // range length, not the universe.
+  auto fill = [this](size_t i, uint64_t mask) {
+    const uint64_t old = words_[i];
+    words_[i] = old | mask;
+    count_ += std::popcount(words_[i]) - std::popcount(old);
+  };
+  if (first == last) {
+    fill(first, head & tail);
+  } else {
+    fill(first, head);
+    for (size_t i = first + 1; i < last; ++i) fill(i, ~uint64_t{0});
+    fill(last, tail);
+  }
+}
+
+NodeId NodeSet::FirstMember() const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] != 0) {
+      return static_cast<NodeId>(i * 64 +
+                                 static_cast<size_t>(std::countr_zero(words_[i])));
+    }
+  }
+  return kNullNode;
+}
+
+NodeId NodeSet::LastMember() const {
+  for (size_t i = words_.size(); i-- > 0;) {
+    if (words_[i] != 0) {
+      return static_cast<NodeId>(i * 64 + 63 -
+                                 static_cast<size_t>(std::countl_zero(words_[i])));
+    }
+  }
+  return kNullNode;
+}
+
+std::vector<NodeId> NodeSet::ToVector() const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<size_t>(count_));
+  ForEachMember([&out](NodeId n) { out.push_back(n); });
+  return out;
+}
+
+NodeSet NodeSet::FromVector(int universe, const std::vector<NodeId>& nodes) {
+  NodeSet s(universe);
+  for (NodeId n : nodes) s.Insert(n);
+  return s;
+}
+
+NodeSet NodeSet::All(int universe) {
+  NodeSet s(universe);
+  s.InsertRange(0, universe);
+  return s;
+}
+
+NodeSet NodeSet::Singleton(int universe, NodeId n) {
+  NodeSet s(universe);
+  s.Insert(n);
+  return s;
+}
+
+}  // namespace treeq

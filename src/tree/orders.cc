@@ -52,6 +52,14 @@ TreeOrders ComputeOrders(const Tree& tree) {
     }
   }
 
+  o.pre_is_identity = true;
+  for (NodeId v = 0; v < n; ++v) {
+    if (o.pre[v] != v) {
+      o.pre_is_identity = false;
+      break;
+    }
+  }
+
   // Breadth-first left-to-right.
   int bflr_counter = 0;
   std::deque<NodeId> queue;

@@ -32,6 +32,10 @@ struct TreeOrders {
   std::vector<NodeId> node_at_pre;
   std::vector<NodeId> node_at_post;
   std::vector<NodeId> node_at_bflr;
+  /// True iff pre[n] == n for every node (document-style construction).
+  /// The word-parallel axis kernels then treat pre-rank bitmaps and node-id
+  /// bitmaps as the same thing and skip the rank->node remap pass.
+  bool pre_is_identity = false;
 
   int num_nodes() const { return static_cast<int>(pre.size()); }
 

@@ -5,7 +5,7 @@
 namespace treeq {
 
 LabelId LabelTable::Intern(std::string_view name) {
-  auto it = ids_.find(std::string(name));
+  auto it = ids_.find(name);
   if (it != ids_.end()) return it->second;
   LabelId id = static_cast<LabelId>(names_.size());
   names_.emplace_back(name);
@@ -14,7 +14,7 @@ LabelId LabelTable::Intern(std::string_view name) {
 }
 
 LabelId LabelTable::Lookup(std::string_view name) const {
-  auto it = ids_.find(std::string(name));
+  auto it = ids_.find(name);
   return it == ids_.end() ? kNullLabel : it->second;
 }
 

@@ -36,6 +36,7 @@ class LabelTable {
   LabelId Intern(std::string_view name);
 
   /// Returns the id for `name`, or kNullLabel if it was never interned.
+  /// Heterogeneous lookup: no temporary std::string per probe.
   LabelId Lookup(std::string_view name) const;
 
   /// Returns the string for `id`. Requires a valid id.
@@ -44,8 +45,16 @@ class LabelTable {
   int size() const { return static_cast<int>(names_.size()); }
 
  private:
+  /// Transparent hash so the map accepts string_view probes directly.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::vector<std::string> names_;
-  std::unordered_map<std::string, LabelId> ids_;
+  std::unordered_map<std::string, LabelId, StringHash, std::equal_to<>> ids_;
 };
 
 /// An immutable unranked ordered labeled tree. Construct via TreeBuilder.

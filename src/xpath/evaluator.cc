@@ -1,44 +1,58 @@
 #include "xpath/evaluator.h"
 
 #include "obs/obs.h"
+#include "tree/label_index.h"
 
 namespace treeq {
 namespace xpath {
 
 namespace {
 
+/// Evaluation context: the tree, its orders, and (optionally) the
+/// document's cached label index. With an index, the label-filter step is a
+/// word-wise copy of a prebuilt bitmap; without, it falls back to the
+/// arena scan.
+struct EvalCtx {
+  const Tree& tree;
+  const TreeOrders& orders;
+  const LabelIndex* labels = nullptr;
+};
+
+NodeSet EvalPathCtx(const EvalCtx& ctx, const PathExpr& path,
+                    const NodeSet& context);
+NodeSet EvalQualifierCtx(const EvalCtx& ctx, const Qualifier& q);
+NodeSet EvalPathExistsCtx(const EvalCtx& ctx, const PathExpr& path,
+                          const NodeSet& target);
+
 /// Intersection of the step's qualifier sets with `set`, in place.
-void ApplyQualifiers(const Tree& tree, const TreeOrders& orders,
-                     const PathExpr& step, NodeSet* set) {
+void ApplyQualifiers(const EvalCtx& ctx, const PathExpr& step, NodeSet* set) {
   for (const auto& q : step.qualifiers) {
     TREEQ_OBS_INC("xpath.qualifier_ops");
-    NodeSet b = EvalQualifier(tree, orders, *q);
+    NodeSet b = EvalQualifierCtx(ctx, *q);
     set->IntersectWith(b);
   }
 }
 
-}  // namespace
-
-NodeSet EvalPath(const Tree& tree, const TreeOrders& orders,
-                 const PathExpr& path, const NodeSet& context) {
-  const int n = tree.num_nodes();
+NodeSet EvalPathCtx(const EvalCtx& ctx, const PathExpr& path,
+                    const NodeSet& context) {
+  const int n = ctx.tree.num_nodes();
   switch (path.kind) {
     case PathExpr::Kind::kStep: {
       NodeSet out(n);
       TREEQ_OBS_INC("xpath.axis_ops");
       TREEQ_OBS_HISTOGRAM("xpath.context_size", context.size());
-      AxisImage(tree, orders, path.axis, context, &out);
-      ApplyQualifiers(tree, orders, path, &out);
+      AxisImage(ctx.tree, ctx.orders, path.axis, context, &out);
+      ApplyQualifiers(ctx, path, &out);
       TREEQ_OBS_HISTOGRAM("xpath.result_size", out.size());
       return out;
     }
     case PathExpr::Kind::kSeq: {
-      NodeSet mid = EvalPath(tree, orders, *path.left, context);
-      return EvalPath(tree, orders, *path.right, mid);
+      NodeSet mid = EvalPathCtx(ctx, *path.left, context);
+      return EvalPathCtx(ctx, *path.right, mid);
     }
     case PathExpr::Kind::kUnion: {
-      NodeSet out = EvalPath(tree, orders, *path.left, context);
-      NodeSet rhs = EvalPath(tree, orders, *path.right, context);
+      NodeSet out = EvalPathCtx(ctx, *path.left, context);
+      NodeSet rhs = EvalPathCtx(ctx, *path.right, context);
       out.UnionWith(rhs);
       return out;
     }
@@ -47,35 +61,37 @@ NodeSet EvalPath(const Tree& tree, const TreeOrders& orders,
   return NodeSet(n);
 }
 
-NodeSet EvalQualifier(const Tree& tree, const TreeOrders& orders,
-                      const Qualifier& q) {
-  const int n = tree.num_nodes();
+NodeSet EvalQualifierCtx(const EvalCtx& ctx, const Qualifier& q) {
+  const int n = ctx.tree.num_nodes();
   switch (q.kind) {
     case Qualifier::Kind::kPath:
-      return EvalPathExists(tree, orders, *q.path, NodeSet::All(n));
+      return EvalPathExistsCtx(ctx, *q.path, NodeSet::All(n));
     case Qualifier::Kind::kLabel: {
+      LabelId label = ctx.tree.label_table().Lookup(q.label);
+      if (label == kNullLabel) return NodeSet(n);
+      if (ctx.labels != nullptr) {
+        return ctx.labels->Set(label);  // word-wise copy of the cached set
+      }
       NodeSet out(n);
-      LabelId label = tree.label_table().Lookup(q.label);
-      if (label == kNullLabel) return out;
       for (NodeId v = 0; v < n; ++v) {
-        if (tree.HasLabel(v, label)) out.Insert(v);
+        if (ctx.tree.HasLabel(v, label)) out.Insert(v);
       }
       return out;
     }
     case Qualifier::Kind::kAnd: {
-      NodeSet out = EvalQualifier(tree, orders, *q.left);
-      NodeSet rhs = EvalQualifier(tree, orders, *q.right);
+      NodeSet out = EvalQualifierCtx(ctx, *q.left);
+      NodeSet rhs = EvalQualifierCtx(ctx, *q.right);
       out.IntersectWith(rhs);
       return out;
     }
     case Qualifier::Kind::kOr: {
-      NodeSet out = EvalQualifier(tree, orders, *q.left);
-      NodeSet rhs = EvalQualifier(tree, orders, *q.right);
+      NodeSet out = EvalQualifierCtx(ctx, *q.left);
+      NodeSet rhs = EvalQualifierCtx(ctx, *q.right);
       out.UnionWith(rhs);
       return out;
     }
     case Qualifier::Kind::kNot: {
-      NodeSet out = EvalQualifier(tree, orders, *q.left);
+      NodeSet out = EvalQualifierCtx(ctx, *q.left);
       out.Complement();
       return out;
     }
@@ -84,29 +100,30 @@ NodeSet EvalQualifier(const Tree& tree, const TreeOrders& orders,
   return NodeSet(n);
 }
 
-NodeSet EvalPathExists(const Tree& tree, const TreeOrders& orders,
-                       const PathExpr& path, const NodeSet& target) {
-  const int n = tree.num_nodes();
+NodeSet EvalPathExistsCtx(const EvalCtx& ctx, const PathExpr& path,
+                          const NodeSet& target) {
+  const int n = ctx.tree.num_nodes();
   switch (path.kind) {
     case PathExpr::Kind::kStep: {
       // n reaches the target via this step iff some node in
       // target ∩ (qualifier sets) is an axis-successor of n.
       NodeSet restricted = target;
-      ApplyQualifiers(tree, orders, path, &restricted);
+      ApplyQualifiers(ctx, path, &restricted);
       NodeSet out(n);
       TREEQ_OBS_INC("xpath.axis_ops");
       TREEQ_OBS_HISTOGRAM("xpath.context_size", restricted.size());
-      AxisImage(tree, orders, InverseAxis(path.axis), restricted, &out);
+      AxisImage(ctx.tree, ctx.orders, InverseAxis(path.axis), restricted,
+                &out);
       TREEQ_OBS_HISTOGRAM("xpath.result_size", out.size());
       return out;
     }
     case PathExpr::Kind::kSeq: {
-      NodeSet mid = EvalPathExists(tree, orders, *path.right, target);
-      return EvalPathExists(tree, orders, *path.left, mid);
+      NodeSet mid = EvalPathExistsCtx(ctx, *path.right, target);
+      return EvalPathExistsCtx(ctx, *path.left, mid);
     }
     case PathExpr::Kind::kUnion: {
-      NodeSet out = EvalPathExists(tree, orders, *path.left, target);
-      NodeSet rhs = EvalPathExists(tree, orders, *path.right, target);
+      NodeSet out = EvalPathExistsCtx(ctx, *path.left, target);
+      NodeSet rhs = EvalPathExistsCtx(ctx, *path.right, target);
       out.UnionWith(rhs);
       return out;
     }
@@ -115,11 +132,52 @@ NodeSet EvalPathExists(const Tree& tree, const TreeOrders& orders,
   return NodeSet(n);
 }
 
+}  // namespace
+
+NodeSet EvalPath(const Tree& tree, const TreeOrders& orders,
+                 const PathExpr& path, const NodeSet& context) {
+  return EvalPathCtx(EvalCtx{tree, orders}, path, context);
+}
+
+NodeSet EvalQualifier(const Tree& tree, const TreeOrders& orders,
+                      const Qualifier& q) {
+  return EvalQualifierCtx(EvalCtx{tree, orders}, q);
+}
+
+NodeSet EvalPathExists(const Tree& tree, const TreeOrders& orders,
+                       const PathExpr& path, const NodeSet& target) {
+  return EvalPathExistsCtx(EvalCtx{tree, orders}, path, target);
+}
+
 NodeSet EvalQueryFromRoot(const Tree& tree, const TreeOrders& orders,
                           const PathExpr& path) {
   TREEQ_OBS_SPAN("xpath.eval");
   return EvalPath(tree, orders, path,
                   NodeSet::Singleton(tree.num_nodes(), tree.root()));
+}
+
+NodeSet EvalPath(const Document& doc, const PathExpr& path,
+                 const NodeSet& context) {
+  return EvalPathCtx(EvalCtx{doc.tree(), doc.orders(), &doc.label_index()},
+                     path, context);
+}
+
+NodeSet EvalQualifier(const Document& doc, const Qualifier& q) {
+  return EvalQualifierCtx(EvalCtx{doc.tree(), doc.orders(),
+                                  &doc.label_index()},
+                          q);
+}
+
+NodeSet EvalPathExists(const Document& doc, const PathExpr& path,
+                       const NodeSet& target) {
+  return EvalPathExistsCtx(
+      EvalCtx{doc.tree(), doc.orders(), &doc.label_index()}, path, target);
+}
+
+NodeSet EvalQueryFromRoot(const Document& doc, const PathExpr& path) {
+  TREEQ_OBS_SPAN("xpath.eval");
+  return EvalPath(doc, path,
+                  NodeSet::Singleton(doc.num_nodes(), doc.tree().root()));
 }
 
 }  // namespace xpath

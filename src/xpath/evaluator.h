@@ -40,21 +40,15 @@ NodeSet EvalPathExists(const Tree& tree, const TreeOrders& orders,
 NodeSet EvalQueryFromRoot(const Tree& tree, const TreeOrders& orders,
                           const PathExpr& path);
 
-/// Document-taking overloads (tree/document.h); thin forwarders.
-inline NodeSet EvalPath(const Document& doc, const PathExpr& path,
-                        const NodeSet& context) {
-  return EvalPath(doc.tree(), doc.orders(), path, context);
-}
-inline NodeSet EvalQualifier(const Document& doc, const Qualifier& q) {
-  return EvalQualifier(doc.tree(), doc.orders(), q);
-}
-inline NodeSet EvalPathExists(const Document& doc, const PathExpr& path,
-                              const NodeSet& target) {
-  return EvalPathExists(doc.tree(), doc.orders(), path, target);
-}
-inline NodeSet EvalQueryFromRoot(const Document& doc, const PathExpr& path) {
-  return EvalQueryFromRoot(doc.tree(), doc.orders(), path);
-}
+/// Document-taking overloads (tree/document.h). These route the label-filter
+/// step through the document's cached LabelIndex (tree/label_index.h), so a
+/// qualifier like [a] is a word-wise bitmap copy instead of an arena scan.
+NodeSet EvalPath(const Document& doc, const PathExpr& path,
+                 const NodeSet& context);
+NodeSet EvalQualifier(const Document& doc, const Qualifier& q);
+NodeSet EvalPathExists(const Document& doc, const PathExpr& path,
+                       const NodeSet& target);
+NodeSet EvalQueryFromRoot(const Document& doc, const PathExpr& path);
 
 }  // namespace xpath
 }  // namespace treeq
