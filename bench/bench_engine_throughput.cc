@@ -14,6 +14,7 @@
 
 #include "bench_json.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <iterator>
@@ -190,9 +191,84 @@ void RunThroughputSweep(treeq::benchjson::Record* record) {
   TREEQ_CHECK(compiles_during_hits == 0);
   TREEQ_CHECK(cache.hits() >= static_cast<uint64_t>(kReps));
 
+  // --- Bounded execution: overhead, deadline and cancel latency ---------
+  // (1) Overhead: the same batch submitted with a far deadline + huge
+  // budget attached, so every evaluator charge runs the bounded (but
+  // never-tripping) path. The qps delta is the whole-engine cost of the
+  // ExecContext plumbing.
+  double bounded_qps;
+  {
+    Executor exec(Executor::Options{.num_workers = 1, .queue_capacity = 64});
+    treeq::engine::SubmitOptions opts;
+    opts.timeout = std::chrono::hours(1);
+    opts.visit_budget = UINT64_MAX - 1;
+    uint64_t start = NowNs();
+    std::vector<treeq::engine::Submission> submissions;
+    submissions.reserve(batch.size());
+    for (const Request& r : batch) {
+      submissions.push_back(exec.Submit(r.plan, r.document, opts));
+    }
+    for (auto& s : submissions) TREEQ_CHECK(s.future.get().ok());
+    uint64_t wall_ns = NowNs() - start;
+    bounded_qps = static_cast<double>(batch.size()) * 1e9 /
+                  static_cast<double>(wall_ns);
+  }
+
+  // (2) Deadline/cancel latency on a request that would otherwise run for
+  // seconds (naive FO, cubic in document size): time from the abort signal
+  // to the future completing.
+  PlanPtr costly =
+      Plan::Compile(Language::kFo,
+                    "forall x . forall y . forall z . "
+                    "(not Child(x, y) or not Child(y, z) or not Lab_zzz(x))")
+          .value();
+  treeq::DocumentPtr big_doc = store.Get(store.Names().front()).value();
+  constexpr int kAbortReps = 15;
+  std::vector<uint64_t> deadline_ns, cancel_ns;
+  {
+    Executor exec(Executor::Options{.num_workers = 1, .queue_capacity = 8});
+    for (int i = 0; i < kAbortReps; ++i) {
+      treeq::engine::SubmitOptions opts;
+      opts.timeout = std::chrono::milliseconds(10);
+      uint64_t start = NowNs();
+      treeq::engine::Submission s = exec.Submit(costly, big_doc, opts);
+      treeq::Result<QueryResult> r = s.future.get();
+      deadline_ns.push_back(NowNs() - start);
+      TREEQ_CHECK(!r.ok());
+    }
+    for (int i = 0; i < kAbortReps; ++i) {
+      treeq::engine::SubmitOptions opts;
+      opts.visit_budget = UINT64_MAX - 1;
+      treeq::engine::Submission s = exec.Submit(costly, big_doc, opts);
+      // Let the worker get well into the evaluation before cancelling.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      uint64_t start = NowNs();
+      s.Cancel();
+      treeq::Result<QueryResult> r = s.future.get();
+      cancel_ns.push_back(NowNs() - start);
+      TREEQ_CHECK(!r.ok());
+    }
+  }
+  auto median = [](std::vector<uint64_t> v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return static_cast<double>(v[v.size() / 2]);
+  };
+  double deadline_p50 = median(deadline_ns);
+  double cancel_p50 = median(cancel_ns);
+
+  std::printf("\n=== bounded execution ===\n");
+  std::printf("bounded submit qps (1 thread): %9.0f  (plain: %9.0f, %.1f%%)\n",
+              bounded_qps, qps1, 100.0 * bounded_qps / qps1);
+  std::printf("10ms-deadline completion p50:  %8.2f ms\n", deadline_p50 / 1e6);
+  std::printf("cancel-to-future-ready p50:    %8.2f ms\n", cancel_p50 / 1e6);
+
   if (record != nullptr) {
     record->SetNumber("hardware_concurrency",
                       std::thread::hardware_concurrency());
+    record->SetNumber("bounded_qps_1_thread", bounded_qps);
+    record->SetNumber("bounded_vs_plain_ratio", bounded_qps / qps1);
+    record->SetNumber("deadline_10ms_completion_ns_p50", deadline_p50);
+    record->SetNumber("cancel_latency_ns_p50", cancel_p50);
     record->SetNumber("num_documents", kNumDocuments);
     record->SetNumber("products_per_document", kProductsPerDocument);
     record->SetNumber("batch_requests", static_cast<double>(batch.size()));

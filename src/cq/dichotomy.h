@@ -8,6 +8,7 @@
 #include "cq/x_property.h"
 #include "tree/document.h"
 #include "tree/orders.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 /// \file dichotomy.h
@@ -44,18 +45,22 @@ std::optional<TreeOrder> OrderForClass(SignatureClass c);
 /// Evaluates a Boolean conjunctive query by the dichotomy: X-property
 /// evaluation (Theorem 6.5) when the signature is tractable, backtracking
 /// search otherwise. `used_tractable_path`, if non-null, reports which side
-/// ran.
+/// ran. The ExecContext bounds the NP-hard branch (charged per assignment
+/// tried) and is checked between stages on the tractable branch.
 Result<bool> EvaluateBooleanDichotomy(const ConjunctiveQuery& query,
                                       const Tree& tree,
                                       const TreeOrders& orders,
-                                      bool* used_tractable_path = nullptr);
+                                      bool* used_tractable_path = nullptr,
+                                      const ExecContext& exec =
+                                          ExecContext::Unbounded());
 
 /// Document-taking overload (tree/document.h); thin forwarder.
 inline Result<bool> EvaluateBooleanDichotomy(
     const ConjunctiveQuery& query, const Document& doc,
-    bool* used_tractable_path = nullptr) {
+    bool* used_tractable_path = nullptr,
+    const ExecContext& exec = ExecContext::Unbounded()) {
   return EvaluateBooleanDichotomy(query, doc.tree(), doc.orders(),
-                                  used_tractable_path);
+                                  used_tractable_path, exec);
 }
 
 }  // namespace cq

@@ -12,8 +12,10 @@ namespace {
 class SolutionEnumerator {
  public:
   SolutionEnumerator(const ConjunctiveQuery& query, const Tree& tree,
-                     const TreeOrders& orders, const ReducedQuery& reduced)
-      : query_(query), tree_(tree), orders_(orders), reduced_(reduced) {}
+                     const TreeOrders& orders, const ReducedQuery& reduced,
+                     const ExecContext& exec)
+      : query_(query), tree_(tree), orders_(orders), reduced_(reduced),
+        exec_(exec) {}
 
   Result<std::vector<std::vector<NodeId>>> Run(uint64_t limit) {
     const int k = query_.num_vars();
@@ -45,19 +47,24 @@ class SolutionEnumerator {
     theta_.assign(k, kNullNode);
     results_.clear();
     limit_ = limit;
+    abort_ = Status::OK();
     EnumerateSatisfactions(0);
+    TREEQ_RETURN_IF_ERROR(abort_);
     return std::move(results_);
   }
 
  private:
-  // Figure 6's enumerate_satisfactions(i).
+  // Figure 6's enumerate_satisfactions(i). The first failed charge lands in
+  // abort_ and unwinds the recursion.
   void EnumerateSatisfactions(int i) {
-    if (results_.size() >= limit_) return;
+    if (!abort_.ok() || results_.size() >= limit_) return;
     const int var = dfs_order_[i];
     const int parent = reduced_.parent_var[var];
     for (NodeId v = 0;
          v < static_cast<NodeId>(reduced_.candidates[var].universe()); ++v) {
       if (!reduced_.candidates[var].Contains(v)) continue;
+      abort_ = exec_.Charge(1);
+      if (!abort_.ok()) return;
       if (i != 0 &&
           !AxisHolds(tree_, orders_, reduced_.parent_axis[var],
                      theta_[parent], v)) {
@@ -65,6 +72,8 @@ class SolutionEnumerator {
       }
       theta_[var] = v;
       if (i == static_cast<int>(dfs_order_.size()) - 1) {
+        abort_ = exec_.ChargeMemory(theta_.size() * sizeof(NodeId));
+        if (!abort_.ok()) return;
         results_.push_back(theta_);
         if (results_.size() >= limit_) return;
       } else {
@@ -77,6 +86,8 @@ class SolutionEnumerator {
   const Tree& tree_;
   const TreeOrders& orders_;
   const ReducedQuery& reduced_;
+  const ExecContext& exec_;
+  Status abort_;
   std::vector<int> dfs_order_;
   std::vector<NodeId> theta_;
   std::vector<std::vector<NodeId>> results_;
@@ -87,26 +98,29 @@ class SolutionEnumerator {
 
 Result<std::vector<std::vector<NodeId>>> EnumerateSolutions(
     const ConjunctiveQuery& query, const Tree& tree, const TreeOrders& orders,
-    const ReducedQuery& reduced, uint64_t limit) {
+    const ReducedQuery& reduced, uint64_t limit, const ExecContext& exec) {
   if (!reduced.satisfiable) {
     return std::vector<std::vector<NodeId>>{};
   }
   if (static_cast<int>(reduced.parent_var.size()) != query.num_vars()) {
     return Status::InvalidArgument("reduced query does not match the query");
   }
-  SolutionEnumerator enumerator(query, tree, orders, reduced);
+  SolutionEnumerator enumerator(query, tree, orders, reduced, exec);
   return enumerator.Run(limit);
 }
 
 Result<TupleSet> EvaluateAcyclic(const ConjunctiveQuery& query,
                                  const Tree& tree, const TreeOrders& orders,
-                                 uint64_t limit) {
+                                 uint64_t limit, const ExecContext& exec) {
+  // The reducer is O(|Q| * |D|); charge it as a block before running.
+  TREEQ_RETURN_IF_ERROR(exec.Charge(
+      1 + static_cast<uint64_t>(tree.num_nodes()) * query.num_vars()));
   TREEQ_ASSIGN_OR_RETURN(ReducedQuery reduced,
                          FullReducer(query, tree, orders));
   if (!reduced.satisfiable) return TupleSet{};
   TREEQ_ASSIGN_OR_RETURN(
       std::vector<std::vector<NodeId>> solutions,
-      EnumerateSolutions(query, tree, orders, reduced, limit));
+      EnumerateSolutions(query, tree, orders, reduced, limit, exec));
   TupleSet tuples;
   tuples.reserve(solutions.size());
   for (const std::vector<NodeId>& solution : solutions) {

@@ -7,6 +7,7 @@
 #include "cq/yannakakis.h"
 #include "tree/document.h"
 #include "tree/orders.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 /// \file enumerate.h
@@ -23,22 +24,28 @@ namespace cq {
 /// Enumerates complete satisfying valuations (one entry per query variable)
 /// in the variable order of Figure 6 (pre-order DFS of the query tree).
 /// Stops after `limit` solutions. Input must come from FullReducer on a
-/// satisfiable query (reduced.satisfiable).
+/// satisfiable query (reduced.satisfiable). The ExecContext is charged one
+/// unit per candidate node examined plus the solution-vector bytes against
+/// the memory budget, so deadlines bound output enumeration too.
 Result<std::vector<std::vector<NodeId>>> EnumerateSolutions(
     const ConjunctiveQuery& query, const Tree& tree, const TreeOrders& orders,
-    const ReducedQuery& reduced, uint64_t limit = UINT64_MAX);
+    const ReducedQuery& reduced, uint64_t limit = UINT64_MAX,
+    const ExecContext& exec = ExecContext::Unbounded());
 
 /// Full k-ary acyclic evaluation (Proposition 6.10 without the pointer
 /// refinement): FullReducer + enumeration + head projection, deduplicated.
 Result<TupleSet> EvaluateAcyclic(const ConjunctiveQuery& query,
                                  const Tree& tree, const TreeOrders& orders,
-                                 uint64_t limit = UINT64_MAX);
+                                 uint64_t limit = UINT64_MAX,
+                                 const ExecContext& exec =
+                                     ExecContext::Unbounded());
 
 /// Document-taking overload (tree/document.h); thin forwarder.
-inline Result<TupleSet> EvaluateAcyclic(const ConjunctiveQuery& query,
-                                        const Document& doc,
-                                        uint64_t limit = UINT64_MAX) {
-  return EvaluateAcyclic(query, doc.tree(), doc.orders(), limit);
+inline Result<TupleSet> EvaluateAcyclic(
+    const ConjunctiveQuery& query, const Document& doc,
+    uint64_t limit = UINT64_MAX,
+    const ExecContext& exec = ExecContext::Unbounded()) {
+  return EvaluateAcyclic(query, doc.tree(), doc.orders(), limit, exec);
 }
 
 }  // namespace cq

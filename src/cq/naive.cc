@@ -10,9 +10,10 @@ namespace {
 class Backtracker {
  public:
   Backtracker(const ConjunctiveQuery& query, const Tree& tree,
-              const TreeOrders& orders, uint64_t budget, NaiveCqStats* stats)
+              const TreeOrders& orders, uint64_t budget, NaiveCqStats* stats,
+              const ExecContext& exec)
       : query_(query), tree_(tree), orders_(orders), budget_(budget),
-        stats_(stats) {}
+        stats_(stats), exec_(exec) {}
 
   /// Runs the search. If `first_only`, stops after one satisfying
   /// assignment.
@@ -41,8 +42,9 @@ class Backtracker {
     }
     for (NodeId v = 0; v < tree_.num_nodes(); ++v) {
       if (stats_ != nullptr) ++stats_->assignments_tried;
+      TREEQ_RETURN_IF_ERROR(exec_.Charge(1));
       if (budget_ == 0) {
-        return Status::Internal("naive CQ evaluation budget exceeded");
+        return Status::ResourceExhausted("naive CQ evaluation budget exceeded");
       }
       --budget_;
       assignment_[var] = v;
@@ -76,6 +78,7 @@ class Backtracker {
   const TreeOrders& orders_;
   uint64_t budget_;
   NaiveCqStats* stats_;
+  const ExecContext& exec_;
   bool first_only_ = false;
   bool found_ = false;
   std::vector<NodeId> assignment_;
@@ -86,17 +89,19 @@ class Backtracker {
 
 Result<TupleSet> NaiveEvaluateCq(const ConjunctiveQuery& query,
                                  const Tree& tree, const TreeOrders& orders,
-                                 uint64_t budget, NaiveCqStats* stats) {
+                                 uint64_t budget, NaiveCqStats* stats,
+                                 const ExecContext& exec) {
   TREEQ_RETURN_IF_ERROR(query.Validate());
-  Backtracker search(query, tree, orders, budget, stats);
+  Backtracker search(query, tree, orders, budget, stats, exec);
   return search.Run(/*first_only=*/false);
 }
 
 Result<bool> NaiveSatisfiableCq(const ConjunctiveQuery& query,
                                 const Tree& tree, const TreeOrders& orders,
-                                uint64_t budget, NaiveCqStats* stats) {
+                                uint64_t budget, NaiveCqStats* stats,
+                                const ExecContext& exec) {
   TREEQ_RETURN_IF_ERROR(query.Validate());
-  Backtracker search(query, tree, orders, budget, stats);
+  Backtracker search(query, tree, orders, budget, stats, exec);
   TREEQ_ASSIGN_OR_RETURN(TupleSet results, search.Run(/*first_only=*/true));
   return !results.empty();
 }

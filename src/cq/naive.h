@@ -5,6 +5,7 @@
 
 #include "cq/ast.h"
 #include "tree/orders.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 /// \file naive.h
@@ -23,17 +24,23 @@ struct NaiveCqStats {
 
 /// All result tuples (deduplicated, sorted). For Boolean queries, a
 /// singleton {{}} if satisfiable and {} otherwise. `budget` bounds the
-/// number of assignments tried (Internal error when exceeded).
+/// number of assignments tried (ResourceExhausted when exceeded). The
+/// ExecContext is charged one unit per assignment tried, so deadlines and
+/// cancellation abort the NP-hard search cooperatively.
 Result<TupleSet> NaiveEvaluateCq(const ConjunctiveQuery& query,
                                  const Tree& tree, const TreeOrders& orders,
                                  uint64_t budget = UINT64_MAX,
-                                 NaiveCqStats* stats = nullptr);
+                                 NaiveCqStats* stats = nullptr,
+                                 const ExecContext& exec =
+                                     ExecContext::Unbounded());
 
 /// Boolean satisfiability only (stops at the first witness).
 Result<bool> NaiveSatisfiableCq(const ConjunctiveQuery& query,
                                 const Tree& tree, const TreeOrders& orders,
                                 uint64_t budget = UINT64_MAX,
-                                NaiveCqStats* stats = nullptr);
+                                NaiveCqStats* stats = nullptr,
+                                const ExecContext& exec =
+                                    ExecContext::Unbounded());
 
 }  // namespace cq
 }  // namespace treeq

@@ -85,8 +85,9 @@ constexpr int kInf = INT32_MAX;
 class TwigStackRunner {
  public:
   TwigStackRunner(const TwigPattern& pattern, const Tree& tree,
-                  const LabelIndex& index, TwigStats* stats)
-      : pattern_(pattern), stats_(stats) {
+                  const LabelIndex& index, TwigStats* stats,
+                  const ExecContext& exec)
+      : pattern_(pattern), stats_(stats), exec_(exec) {
     const int m = static_cast<int>(pattern.nodes.size());
     children_.resize(m);
     for (int i = 1; i < m; ++i) {
@@ -103,10 +104,14 @@ class TwigStackRunner {
     }
   }
 
-  TupleSet Run() {
+  Result<TupleSet> Run() {
     const int m = static_cast<int>(pattern_.nodes.size());
     for (;;) {
+      // One charge per main-loop iteration == one stream advance; GetNext
+      // skips are charged where they happen.
+      TREEQ_RETURN_IF_ERROR(exec_.Charge(1));
       int q = GetNext(0);
+      if (!abort_.ok()) return abort_;
       if (Exhausted(q)) {
         // getNext hit a branch whose stream is exhausted: no *new* matches
         // can involve that pattern node, but other root-to-leaf legs may
@@ -127,12 +132,15 @@ class TwigStackRunner {
         Push(q);
         if (children_[q].empty()) {
           EmitPathSolutions(q);
+          if (!abort_.ok()) return abort_;
           stacks_[q].pop_back();
         }
       }
       ++cursor_[q];  // advance the stream either way
     }
-    return MergePathSolutions();
+    TupleSet merged = MergePathSolutions();
+    TREEQ_RETURN_IF_ERROR(abort_);
+    return merged;
   }
 
  private:
@@ -161,6 +169,8 @@ class TwigStackRunner {
     // Skip q-elements whose subtree ends before the farthest child head:
     // they cannot cover all child branches.
     while (!Exhausted(q) && NextEnd(q) <= NextL(nmax)) {
+      abort_ = exec_.Charge(1);
+      if (!abort_.ok()) return q;
       TREEQ_OBS_INC("cq.twig.skipped_elements");
       ++cursor_[q];
     }
@@ -202,11 +212,14 @@ class TwigStackRunner {
 
   void EmitRec(const std::vector<int>& path, size_t depth_in_path,
                int max_stack_index, std::vector<NodeId>* partial) {
+    if (!abort_.ok()) return;
     const int q = path[depth_in_path];
     // The leaf position uses only the just-pushed element; ancestor
     // positions range over the stack up to the recorded parent link.
     const int min_stack_index = depth_in_path == 0 ? max_stack_index : 0;
     for (int s = max_stack_index; s >= min_stack_index; --s) {
+      abort_ = exec_.Charge(1);
+      if (!abort_.ok()) return;
       const StackEntry& entry = stacks_[q][s];
       if (depth_in_path > 0) {
         // entry must relate to the previously chosen (lower) element per
@@ -227,6 +240,8 @@ class TwigStackRunner {
       chosen_items_[q] = entry.item;
       if (depth_in_path + 1 == path.size()) {
         // Record the solution keyed by the root-to-leaf pattern path.
+        abort_ = exec_.ChargeMemory(path.size() * sizeof(NodeId));
+        if (!abort_.ok()) return;
         std::vector<NodeId> solution(path.size());
         for (size_t i = 0; i < path.size(); ++i) {
           solution[path.size() - 1 - i] = (*partial)[i];  // root first
@@ -262,13 +277,18 @@ class TwigStackRunner {
 
   void MergeRec(const std::vector<std::vector<int>>& paths, size_t index,
                 std::vector<NodeId>* assignment, TupleSet* result) {
+    if (!abort_.ok()) return;
     if (index == paths.size()) {
+      abort_ = exec_.ChargeMemory(assignment->size() * sizeof(NodeId));
+      if (!abort_.ok()) return;
       result->push_back(*assignment);
       return;
     }
     const std::vector<int>& path = paths[index];
     int leaf = path.back();
     for (const std::vector<NodeId>& solution : path_solutions_[leaf]) {
+      abort_ = exec_.Charge(1);
+      if (!abort_.ok()) return;
       bool compatible = true;
       for (size_t i = 0; i < path.size(); ++i) {
         NodeId assigned = (*assignment)[path[i]];
@@ -292,6 +312,8 @@ class TwigStackRunner {
 
   const TwigPattern& pattern_;
   TwigStats* stats_;
+  const ExecContext& exec_;
+  Status abort_;
   std::vector<std::vector<int>> children_;
   std::vector<const std::vector<JoinItem>*> streams_;
   std::vector<size_t> cursor_;
@@ -305,32 +327,36 @@ class TwigStackRunner {
 
 Result<TupleSet> TwigStackJoin(const TwigPattern& pattern, const Tree& tree,
                                const TreeOrders& /*orders*/,
-                               const LabelIndex& index, TwigStats* stats) {
+                               const LabelIndex& index, TwigStats* stats,
+                               const ExecContext& exec) {
   TREEQ_RETURN_IF_ERROR(pattern.Validate());
   TREEQ_OBS_SPAN("cq.twig.twigstack");
-  TwigStackRunner runner(pattern, tree, index, stats);
-  TupleSet result = runner.Run();
+  TwigStackRunner runner(pattern, tree, index, stats, exec);
+  TREEQ_ASSIGN_OR_RETURN(TupleSet result, runner.Run());
   TREEQ_OBS_COUNT("cq.twig.output_tuples", result.size());
   return result;
 }
 
 Result<TupleSet> TwigStackJoin(const TwigPattern& pattern, const Tree& tree,
-                               const TreeOrders& orders, TwigStats* stats) {
+                               const TreeOrders& orders, TwigStats* stats,
+                               const ExecContext& exec) {
   LabelIndex index(tree, orders);
-  return TwigStackJoin(pattern, tree, orders, index, stats);
+  return TwigStackJoin(pattern, tree, orders, index, stats, exec);
 }
 
 Result<TupleSet> TwigStackJoin(const TwigPattern& pattern,
-                               const Document& doc, TwigStats* stats) {
+                               const Document& doc, TwigStats* stats,
+                               const ExecContext& exec) {
   return TwigStackJoin(pattern, doc.tree(), doc.orders(), doc.label_index(),
-                       stats);
+                       stats, exec);
 }
 
 Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
                                        const Tree& tree,
                                        const TreeOrders& orders,
                                        const LabelIndex& index,
-                                       TwigStats* stats) {
+                                       TwigStats* stats,
+                                       const ExecContext& exec) {
   TREEQ_RETURN_IF_ERROR(pattern.Validate());
   TREEQ_OBS_SPAN("cq.twig.structural_joins");
   const int m = static_cast<int>(pattern.nodes.size());
@@ -343,6 +369,9 @@ Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
     LabelId label = tree.label_table().Lookup(pattern.nodes[q].label);
     const std::vector<JoinItem>& self_items = index.Items(label);
     // Start with the node's own matches.
+    TREEQ_RETURN_IF_ERROR(exec.Charge(1 + self_items.size()));
+    TREEQ_RETURN_IF_ERROR(
+        exec.ChargeMemory(self_items.size() * m * sizeof(NodeId)));
     TupleSet tuples;
     for (const JoinItem& item : self_items) {
       std::vector<NodeId> tuple(m, kNullNode);
@@ -363,6 +392,7 @@ Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
           self_items, c_items, pattern.nodes[c].edge == Axis::kChild);
       TREEQ_OBS_COUNT("cq.twig.candidate_pairs", edge_pairs.size());
       if (stats != nullptr) stats->intermediate_results += edge_pairs.size();
+      TREEQ_RETURN_IF_ERROR(exec.Charge(1 + edge_pairs.size()));
       // Hash child partials by the c-node.
       std::map<NodeId, std::vector<const std::vector<NodeId>*>> by_c;
       for (const std::vector<NodeId>& t : partial[c]) {
@@ -387,6 +417,12 @@ Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
       tuples = std::move(joined);
       TREEQ_OBS_COUNT("cq.twig.intermediate_tuples", tuples.size());
       if (stats != nullptr) stats->intermediate_results += tuples.size();
+      // The joined tuple set is the memory hazard of the binary-join plan:
+      // charge it so skewed documents trip ResourceExhausted, not the OOM
+      // killer.
+      TREEQ_RETURN_IF_ERROR(exec.Charge(1 + tuples.size()));
+      TREEQ_RETURN_IF_ERROR(
+          exec.ChargeMemory(tuples.size() * m * sizeof(NodeId)));
     }
     partial[q] = std::move(tuples);
   }
@@ -398,16 +434,18 @@ Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
 Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
                                        const Tree& tree,
                                        const TreeOrders& orders,
-                                       TwigStats* stats) {
+                                       TwigStats* stats,
+                                       const ExecContext& exec) {
   LabelIndex index(tree, orders);
-  return TwigByStructuralJoins(pattern, tree, orders, index, stats);
+  return TwigByStructuralJoins(pattern, tree, orders, index, stats, exec);
 }
 
 Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
                                        const Document& doc,
-                                       TwigStats* stats) {
+                                       TwigStats* stats,
+                                       const ExecContext& exec) {
   return TwigByStructuralJoins(pattern, doc.tree(), doc.orders(),
-                               doc.label_index(), stats);
+                               doc.label_index(), stats, exec);
 }
 
 }  // namespace cq

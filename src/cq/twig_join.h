@@ -9,6 +9,7 @@
 #include "tree/document.h"
 #include "tree/label_index.h"
 #include "tree/orders.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 /// \file twig_join.h
@@ -70,16 +71,26 @@ struct TwigStats {
 /// serves every pattern node, instead of one arena scan + sort per node.
 /// The (tree, orders) overload builds a throwaway index; the Document
 /// overload reuses the document's cached one.
+///
+/// Both algorithms charge the ExecContext per stream advance / stack push /
+/// solution emitted (and the intermediate tuples against the memory
+/// budget), so skew-blown joins abort instead of running away.
 Result<TupleSet> TwigStackJoin(const TwigPattern& pattern, const Tree& tree,
                                const TreeOrders& orders,
                                const LabelIndex& index,
-                               TwigStats* stats = nullptr);
+                               TwigStats* stats = nullptr,
+                               const ExecContext& exec =
+                                   ExecContext::Unbounded());
 Result<TupleSet> TwigStackJoin(const TwigPattern& pattern, const Tree& tree,
                                const TreeOrders& orders,
-                               TwigStats* stats = nullptr);
+                               TwigStats* stats = nullptr,
+                               const ExecContext& exec =
+                                   ExecContext::Unbounded());
 Result<TupleSet> TwigStackJoin(const TwigPattern& pattern,
                                const Document& doc,
-                               TwigStats* stats = nullptr);
+                               TwigStats* stats = nullptr,
+                               const ExecContext& exec =
+                                   ExecContext::Unbounded());
 
 /// Baseline: decompose the twig into binary (parent, child) structural
 /// joins, evaluate each with the stack-tree merge of storage/, and hash-join
@@ -88,14 +99,20 @@ Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
                                        const Tree& tree,
                                        const TreeOrders& orders,
                                        const LabelIndex& index,
-                                       TwigStats* stats = nullptr);
+                                       TwigStats* stats = nullptr,
+                                       const ExecContext& exec =
+                                           ExecContext::Unbounded());
 Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
                                        const Tree& tree,
                                        const TreeOrders& orders,
-                                       TwigStats* stats = nullptr);
+                                       TwigStats* stats = nullptr,
+                                       const ExecContext& exec =
+                                           ExecContext::Unbounded());
 Result<TupleSet> TwigByStructuralJoins(const TwigPattern& pattern,
                                        const Document& doc,
-                                       TwigStats* stats = nullptr);
+                                       TwigStats* stats = nullptr,
+                                       const ExecContext& exec =
+                                           ExecContext::Unbounded());
 
 }  // namespace cq
 }  // namespace treeq

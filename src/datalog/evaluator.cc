@@ -13,9 +13,13 @@ namespace treeq {
 namespace datalog {
 
 Result<NodeSet> EvaluateDatalog(const Program& program, const Tree& tree,
-                                EvalStats* stats) {
+                                EvalStats* stats, const ExecContext& exec) {
   TREEQ_OBS_SPAN("datalog.eval");
   TREEQ_ASSIGN_OR_RETURN(Program tmnf, ToTmnf(program));
+  // Grounding materializes O(|P| * |Dom|) clauses; charge the estimate up
+  // front so a doomed request never allocates the ground program at all.
+  TREEQ_RETURN_IF_ERROR(exec.Charge(
+      1 + tmnf.rules().size() * static_cast<uint64_t>(tree.num_nodes())));
   TREEQ_ASSIGN_OR_RETURN(GroundProgram ground, GroundTmnf(tmnf, tree));
   if (stats != nullptr) {
     stats->tmnf_rules = static_cast<int>(tmnf.rules().size());
@@ -24,7 +28,10 @@ Result<NodeSet> EvaluateDatalog(const Program& program, const Tree& tree,
   }
   TREEQ_OBS_COUNT("datalog.ground_clauses", ground.horn.num_clauses());
   TREEQ_OBS_COUNT("datalog.ground_literals", ground.horn.SizeInLiterals());
-  std::vector<char> truth = ground.horn.Solve();
+  TREEQ_RETURN_IF_ERROR(exec.ChargeMemory(
+      static_cast<uint64_t>(ground.horn.SizeInLiterals()) *
+      sizeof(horn::PredId)));
+  TREEQ_ASSIGN_OR_RETURN(std::vector<char> truth, ground.horn.Solve(exec));
   NodeSet result(tree.num_nodes());
   horn::PredId base = ground.pred_base.at(program.query_predicate());
   for (NodeId v = 0; v < tree.num_nodes(); ++v) {
@@ -57,13 +64,17 @@ namespace {
 class NaiveRuleMatcher {
  public:
   NaiveRuleMatcher(const Rule& rule, const Tree& tree, const TreeOrders& orders,
-                   const std::map<std::string, NodeSet>& relations)
-      : rule_(rule), tree_(tree), orders_(orders), relations_(relations) {}
+                   const std::map<std::string, NodeSet>& relations,
+                   const ExecContext& exec)
+      : rule_(rule), tree_(tree), orders_(orders), relations_(relations),
+        exec_(exec) {}
 
-  void Match(NodeSet* head_result) {
+  Status Match(NodeSet* head_result) {
     assignment_.assign(rule_.num_vars(), kNullNode);
     head_result_ = head_result;
+    abort_ = Status::OK();
     Assign(0);
+    return abort_;
   }
 
  private:
@@ -89,11 +100,14 @@ class NaiveRuleMatcher {
   }
 
   void Assign(int var) {
+    if (!abort_.ok()) return;
     if (var == rule_.num_vars()) {
       head_result_->Insert(assignment_[rule_.head_var]);
       return;
     }
     for (NodeId v = 0; v < tree_.num_nodes(); ++v) {
+      abort_ = exec_.Charge(1);
+      if (!abort_.ok()) return;
       assignment_[var] = v;
       bool ok = true;
       for (const Atom& atom : rule_.body) {
@@ -113,6 +127,8 @@ class NaiveRuleMatcher {
   const Tree& tree_;
   const TreeOrders& orders_;
   const std::map<std::string, NodeSet>& relations_;
+  const ExecContext& exec_;
+  Status abort_;
   std::vector<NodeId> assignment_;
   NodeSet* head_result_ = nullptr;
 };
@@ -120,7 +136,8 @@ class NaiveRuleMatcher {
 }  // namespace
 
 Result<NodeSet> EvaluateDatalogNaive(const Program& program, const Tree& tree,
-                                     const TreeOrders& orders) {
+                                     const TreeOrders& orders,
+                                     const ExecContext& exec) {
   TREEQ_RETURN_IF_ERROR(program.Validate());
   std::map<std::string, NodeSet> relations;
   for (const std::string& pred : program.IntensionalPredicates()) {
@@ -133,8 +150,8 @@ Result<NodeSet> EvaluateDatalogNaive(const Program& program, const Tree& tree,
     for (const Rule& rule : program.rules()) {
       TREEQ_OBS_INC("datalog.rule_firings");
       NodeSet derived(tree.num_nodes());
-      NaiveRuleMatcher matcher(rule, tree, orders, relations);
-      matcher.Match(&derived);
+      NaiveRuleMatcher matcher(rule, tree, orders, relations, exec);
+      TREEQ_RETURN_IF_ERROR(matcher.Match(&derived));
       NodeSet& head = relations.at(rule.head_pred);
       for (NodeId v : derived.ToVector()) {
         if (!head.Contains(v)) {

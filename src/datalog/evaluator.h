@@ -9,6 +9,7 @@
 #include "tree/document.h"
 #include "tree/orders.h"
 #include "tree/tree.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 /// \file evaluator.h
@@ -33,9 +34,13 @@ struct EvalStats {
 };
 
 /// Evaluates the program's query predicate over `tree` via TMNF + grounding
-/// + Minoux. Returns the set of nodes in the query result.
+/// + Minoux. Returns the set of nodes in the query result. The ExecContext
+/// is charged for the grounding (per ground literal, also against the
+/// memory budget) and per derivation step of the Horn fixpoint.
 Result<NodeSet> EvaluateDatalog(const Program& program, const Tree& tree,
-                                EvalStats* stats = nullptr);
+                                EvalStats* stats = nullptr,
+                                const ExecContext& exec =
+                                    ExecContext::Unbounded());
 
 /// Like EvaluateDatalog, but returns the value of EVERY intensional
 /// predicate (one grounding, one Minoux run). Used by the stratified
@@ -44,19 +49,22 @@ Result<std::map<std::string, NodeSet>> EvaluateDatalogAllPredicates(
     const Program& program, const Tree& tree);
 
 /// Reference oracle (see file comment). `orders` must be computed from
-/// `tree`.
+/// `tree`. Charged per assignment tried in the rule matcher.
 Result<NodeSet> EvaluateDatalogNaive(const Program& program, const Tree& tree,
-                                     const TreeOrders& orders);
+                                     const TreeOrders& orders,
+                                     const ExecContext& exec =
+                                         ExecContext::Unbounded());
 
 /// Document-taking overloads (tree/document.h); thin forwarders.
-inline Result<NodeSet> EvaluateDatalog(const Program& program,
-                                       const Document& doc,
-                                       EvalStats* stats = nullptr) {
-  return EvaluateDatalog(program, doc.tree(), stats);
+inline Result<NodeSet> EvaluateDatalog(
+    const Program& program, const Document& doc, EvalStats* stats = nullptr,
+    const ExecContext& exec = ExecContext::Unbounded()) {
+  return EvaluateDatalog(program, doc.tree(), stats, exec);
 }
-inline Result<NodeSet> EvaluateDatalogNaive(const Program& program,
-                                            const Document& doc) {
-  return EvaluateDatalogNaive(program, doc.tree(), doc.orders());
+inline Result<NodeSet> EvaluateDatalogNaive(
+    const Program& program, const Document& doc,
+    const ExecContext& exec = ExecContext::Unbounded()) {
+  return EvaluateDatalogNaive(program, doc.tree(), doc.orders(), exec);
 }
 
 }  // namespace datalog

@@ -28,6 +28,14 @@ int64_t HornInstance::SizeInLiterals() const {
 
 std::vector<char> HornInstance::Solve(
     std::vector<PredId>* derivation_order) const {
+  Result<std::vector<char>> r =
+      Solve(ExecContext::Unbounded(), derivation_order);
+  TREEQ_CHECK(r.ok());  // unbounded contexts never trip
+  return std::move(r).value();
+}
+
+Result<std::vector<char>> HornInstance::Solve(
+    const ExecContext& exec, std::vector<PredId>* derivation_order) const {
   const int num_rules = static_cast<int>(clauses_.size());
   // Initialization of data structures (Figure 3): rules[p] lists the rules
   // whose body mentions p, size[i] counts i's not-yet-derived body atoms,
@@ -38,6 +46,10 @@ std::vector<char> HornInstance::Solve(
   std::deque<PredId> queue;
   std::vector<char> truth(num_predicates_, 0);
 
+  // Initialization walks every literal once; charge it as a block so huge
+  // ground programs trip the budget before the main loop even starts.
+  TREEQ_RETURN_IF_ERROR(
+      exec.Charge(1 + static_cast<uint64_t>(SizeInLiterals())));
   for (int i = 0; i < num_rules; ++i) {
     const Clause& c = clauses_[i];
     head[i] = c.head;
@@ -48,6 +60,7 @@ std::vector<char> HornInstance::Solve(
 
   // Main loop.
   while (!queue.empty()) {
+    TREEQ_RETURN_IF_ERROR(exec.Charge(1));
     PredId p = queue.front();
     queue.pop_front();
     if (truth[p]) continue;  // a predicate may be enqueued more than once

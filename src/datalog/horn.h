@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/exec_context.h"
 #include "util/status.h"
 
 /// \file horn.h
@@ -46,6 +47,13 @@ class HornInstance {
   /// `derivation_order`, if non-null, receives the predicates in the order
   /// the main loop outputs "p is true".
   std::vector<char> Solve(std::vector<PredId>* derivation_order = nullptr) const;
+
+  /// Bounded Solve: charges `exec` one unit per queue pop (plus the
+  /// initialization literals up front), so deadlines and budgets abort the
+  /// fixpoint mid-derivation.
+  Result<std::vector<char>> Solve(
+      const ExecContext& exec,
+      std::vector<PredId>* derivation_order = nullptr) const;
 
  private:
   int num_predicates_ = 0;

@@ -31,7 +31,9 @@ void CountRequestLanguage(Language language) {
   }
 }
 
-Result<QueryResult> RunOne(const PlanPtr& plan, const DocumentPtr& doc) {
+Result<QueryResult> RunOne(const PlanPtr& plan, const DocumentPtr& doc,
+                           const ExecContextPtr& context,
+                           bool allow_degraded) {
   if (plan == nullptr) {
     return Status::InvalidArgument("null plan submitted");
   }
@@ -39,7 +41,8 @@ Result<QueryResult> RunOne(const PlanPtr& plan, const DocumentPtr& doc) {
     return Status::InvalidArgument("null document submitted");
   }
   CountRequestLanguage(plan->language());
-  return plan->Run(*doc);
+  if (context == nullptr) return plan->Run(*doc);
+  return plan->Run(*doc, *context, allow_degraded);
 }
 
 }  // namespace
@@ -59,9 +62,17 @@ Executor::Executor(const Options& options)
   }
 }
 
-Executor::~Executor() {
+Executor::~Executor() { Shutdown(); }
+
+void Executor::Shutdown() {
+  // Mark first so racing Submits fail fast without touching the queue,
+  // then close so blocked pushes bounce and workers drain + exit.
+  shutdown_.store(true, std::memory_order_release);
   queue_.Close();
-  for (std::thread& w : workers_) w.join();
+  std::lock_guard<std::mutex> lock(join_mu_);
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
   // Workers drained the queue before exiting; any task still queued at
   // Close() has had its promise fulfilled.
 }
@@ -71,16 +82,50 @@ std::future<Result<QueryResult>> Executor::Submit(PlanPtr plan,
   Task task;
   task.plan = std::move(plan);
   task.document = std::move(document);
-  std::future<Result<QueryResult>> future = task.promise.get_future();
-  TREEQ_OBS_INC("engine.exec.submitted");
-  if (!queue_.Push(std::move(task))) {
-    // Queue closed: the task bounced back un-run, so the promise we still
-    // hold (moved into the rejected task... not reachable) — rebuild one.
-    std::promise<Result<QueryResult>> failed;
-    future = failed.get_future();
-    failed.set_value(Status::Unavailable("executor is shut down"));
+  return SubmitTask(std::move(task), /*reject_when_full=*/false).future;
+}
+
+Submission Executor::Submit(PlanPtr plan, DocumentPtr document,
+                            const SubmitOptions& options) {
+  Task task;
+  task.plan = std::move(plan);
+  task.document = std::move(document);
+  task.allow_degraded = options.allow_degraded;
+  ExecContext::Limits limits;
+  if (options.timeout > std::chrono::nanoseconds::zero()) {
+    limits.deadline = ExecContext::Clock::now() + options.timeout;
   }
-  return future;
+  limits.visit_budget = options.visit_budget;
+  limits.memory_budget = options.memory_budget;
+  task.context = std::make_shared<ExecContext>(limits);
+  return SubmitTask(std::move(task), options.reject_when_full);
+}
+
+Submission Executor::SubmitTask(Task task, bool reject_when_full) {
+  Submission submission;
+  submission.context = task.context;
+  submission.future = task.promise.get_future();
+  TREEQ_OBS_INC("engine.exec.submitted");
+  bool accepted;
+  if (shutdown_.load(std::memory_order_acquire)) {
+    accepted = false;
+  } else if (reject_when_full) {
+    accepted = queue_.TryPush(std::move(task));
+  } else {
+    accepted = queue_.Push(std::move(task));
+  }
+  if (!accepted) {
+    // The task (with the promise) was consumed either way; rebuild a
+    // pre-failed future. Shutdown wins over "queue full" for the message —
+    // a TryPush can lose to either.
+    const bool down = shutdown_.load(std::memory_order_acquire);
+    if (!down) TREEQ_OBS_INC("engine.rejected");
+    std::promise<Result<QueryResult>> failed;
+    submission.future = failed.get_future();
+    failed.set_value(Status::Unavailable(
+        down ? "executor is shut down" : "executor queue is full"));
+  }
+  return submission;
 }
 
 std::vector<Result<QueryResult>> Executor::RunBatch(
@@ -102,7 +147,9 @@ void Executor::WorkerLoop() {
   obs::ShadowCounters shadow;
   while (std::optional<Task> task = queue_.Pop()) {
     auto start = std::chrono::steady_clock::now();
-    Result<QueryResult> result = RunOne(task->plan, task->document);
+    Result<QueryResult> result =
+        RunOne(task->plan, task->document, task->context,
+               task->allow_degraded);
     auto elapsed_ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start)

@@ -1,14 +1,18 @@
 #ifndef TREEQ_ENGINE_EXECUTOR_H_
 #define TREEQ_ENGINE_EXECUTOR_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <future>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "engine/mpmc_queue.h"
 #include "engine/plan.h"
 #include "tree/document.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 /// \file executor.h
@@ -27,8 +31,16 @@
 /// of a batch is ready, the registry totals are exact.
 ///
 /// Backpressure: Submit blocks while the queue is full — a heavy client
-/// slows down rather than ballooning memory. Destruction closes the queue,
-/// drains remaining requests (their futures complete), and joins.
+/// slows down rather than ballooning memory — unless the request opts into
+/// admission control (SubmitOptions::reject_when_full), in which case a
+/// saturated queue rejects immediately with Unavailable (counted as
+/// `engine.rejected`). Destruction closes the queue, drains remaining
+/// requests (their futures complete), and joins.
+///
+/// Bounded requests: Submit with SubmitOptions attaches an ExecContext
+/// (util/exec_context.h) carrying the request's deadline and budgets; the
+/// returned Submission exposes Cancel(), and the worker threads the context
+/// through Plan::Run so evaluation aborts cooperatively.
 
 namespace treeq {
 namespace engine {
@@ -37,6 +49,37 @@ namespace engine {
 struct Request {
   PlanPtr plan;
   DocumentPtr document;
+};
+
+/// Per-request limits and policies for Submit.
+struct SubmitOptions {
+  /// Wall-clock deadline measured from Submit; zero = none. Queue wait
+  /// counts against it: a request popped after its deadline fails without
+  /// evaluating.
+  std::chrono::nanoseconds timeout = std::chrono::nanoseconds::zero();
+  /// Deterministic work budget in charge units; UINT64_MAX = unlimited.
+  uint64_t visit_budget = UINT64_MAX;
+  /// Bytes of evaluator intermediate state; UINT64_MAX = unlimited.
+  uint64_t memory_budget = UINT64_MAX;
+  /// Reject immediately (Unavailable) instead of blocking when the queue
+  /// is full.
+  bool reject_when_full = false;
+  /// Allow the plan to fall back to the streaming evaluator when the
+  /// budget classifier predicts the in-memory evaluator would blow up.
+  bool allow_degraded = false;
+};
+
+/// Handle for one bounded submission: the result future plus the request's
+/// cancel handle. `context` is never null; it is shared with the worker.
+struct Submission {
+  std::future<Result<QueryResult>> future;
+  ExecContextPtr context;
+
+  /// Requests cooperative cancellation; the future then completes with
+  /// Status::Cancelled (unless the result was already computed).
+  void Cancel() {
+    if (context != nullptr) context->Cancel();
+  }
 };
 
 class Executor {
@@ -58,12 +101,25 @@ class Executor {
 
   /// Enqueues one request. The future carries the evaluation result, or an
   /// InvalidArgument status for a null plan/document. Blocks while the
-  /// queue is full; returns an already-failed future after shutdown began.
+  /// queue is full; returns an already-failed Unavailable future after
+  /// Shutdown() (or destruction) began.
   std::future<Result<QueryResult>> Submit(PlanPtr plan, DocumentPtr document);
+
+  /// Bounded submission: attaches an ExecContext built from `options` and
+  /// returns it alongside the future so the caller can Cancel(). Respects
+  /// `options.reject_when_full` for admission control.
+  Submission Submit(PlanPtr plan, DocumentPtr document,
+                    const SubmitOptions& options);
 
   /// Submits every request, then waits for all of them. Results are in
   /// request order.
   std::vector<Result<QueryResult>> RunBatch(std::vector<Request> requests);
+
+  /// Stops accepting new work, drains queued requests (their futures
+  /// complete), and joins the workers. Idempotent and safe to race with
+  /// Submit: a Submit that loses the race gets an Unavailable future
+  /// instead of a broken promise.
+  void Shutdown();
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
@@ -71,12 +127,17 @@ class Executor {
   struct Task {
     PlanPtr plan;
     DocumentPtr document;
+    ExecContextPtr context;  // null = unbounded
+    bool allow_degraded = false;
     std::promise<Result<QueryResult>> promise;
   };
 
+  Submission SubmitTask(Task task, bool reject_when_full);
   void WorkerLoop();
 
   BoundedQueue<Task> queue_;
+  std::atomic<bool> shutdown_{false};
+  std::mutex join_mu_;
   std::vector<std::thread> workers_;
 };
 

@@ -39,6 +39,19 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push for admission control: returns false — with `item`
+  /// consumed — when the queue is full or closed, instead of waiting for
+  /// room.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocks until an item is available. Returns nullopt once the queue is
   /// closed and fully drained.
   std::optional<T> Pop() {

@@ -7,7 +7,9 @@
 #include "fo/corollary52.h"
 #include "fo/evaluator.h"
 #include "obs/obs.h"
+#include "stream/stream_eval.h"
 #include "xpath/evaluator.h"
+#include "xpath/to_forward.h"
 
 namespace treeq {
 namespace engine {
@@ -22,7 +24,21 @@ Result<PlanPtr> Plan::Compile(Language language, std::string_view text) {
   plan->query_ = std::move(parsed);
 
   switch (language) {
-    case Language::kXPath:
+    case Language::kXPath: {
+      // Pre-compute the streaming fallback while we are still on the
+      // compile path: forward rewrite (Section 5) + matcher compilation +
+      // selection support. Failures just mean "not stream-capable".
+      Result<std::unique_ptr<xpath::PathExpr>> forward =
+          xpath::ToForwardXPath(*plan->query_.xpath);
+      if (forward.ok()) {
+        Result<std::unique_ptr<stream::StreamMatcher>> matcher =
+            stream::StreamMatcher::Compile(*forward.value());
+        if (matcher.ok() && matcher.value()->selection_supported()) {
+          plan->stream_query_ = std::move(forward).value();
+        }
+      }
+      break;
+    }
     case Language::kDatalog:
       break;  // the parsers validate fully
     case Language::kCq: {
@@ -53,39 +69,102 @@ Result<PlanPtr> Plan::Compile(Language language, std::string_view text) {
 }
 
 Result<QueryResult> Plan::Run(const Document& doc) const {
+  return Run(doc, ExecContext::Unbounded(), /*allow_degraded=*/false);
+}
+
+Result<QueryResult> Plan::Run(const Document& doc,
+                              const ExecContext& exec) const {
+  return Run(doc, exec, /*allow_degraded=*/false);
+}
+
+uint64_t Plan::EstimatedVisits(const Document& doc) const {
+  uint64_t query_size = 1;
+  switch (query_.language) {
+    case Language::kXPath:
+      query_size = static_cast<uint64_t>(xpath::PathSize(*query_.xpath));
+      break;
+    case Language::kCq:
+      query_size = static_cast<uint64_t>(query_.cq->num_vars());
+      break;
+    case Language::kDatalog:
+      query_size = query_.datalog->rules().size();
+      break;
+    case Language::kFo:
+      query_size = static_cast<uint64_t>(fo::Size(*query_.fo));
+      break;
+  }
+  return query_size * (static_cast<uint64_t>(doc.num_nodes()) + 1);
+}
+
+bool Plan::PredictsBlowup(const Document& doc, const ExecContext& exec) const {
+  const uint64_t budget = exec.limits().visit_budget;
+  if (budget == UINT64_MAX) return false;
+  const uint64_t used = exec.visits_used();
+  const uint64_t remaining = budget > used ? budget - used : 0;
+  return EstimatedVisits(doc) > remaining;
+}
+
+Result<QueryResult> Plan::Run(const Document& doc, const ExecContext& exec,
+                              bool allow_degraded) const {
   TREEQ_OBS_SPAN("engine.plan.run");
   TREEQ_OBS_INC("engine.plan.runs");
+  // A request that spent its whole queue wait past the deadline should not
+  // start evaluating at all.
+  TREEQ_RETURN_IF_ERROR(exec.CheckNow());
   QueryResult out;
   out.language = query_.language;
   switch (query_.language) {
     case Language::kXPath: {
-      out.nodes = xpath::EvalQueryFromRoot(doc, *query_.xpath);
+      if (allow_degraded && stream_query_ != nullptr &&
+          PredictsBlowup(doc, exec)) {
+        TREEQ_OBS_INC("engine.degraded");
+        out.degraded = true;
+        TREEQ_ASSIGN_OR_RETURN(
+            std::vector<NodeId> selected,
+            stream::StreamMatcher::SelectFromTree(*stream_query_, doc.tree(),
+                                                  /*stats=*/nullptr, exec));
+        out.nodes = NodeSet(doc.num_nodes());
+        for (NodeId v : selected) out.nodes.Insert(v);
+        return out;
+      }
+      TREEQ_ASSIGN_OR_RETURN(out.nodes,
+                             xpath::EvalQueryFromRoot(doc, *query_.xpath,
+                                                      exec));
       return out;
     }
     case Language::kDatalog: {
-      TREEQ_ASSIGN_OR_RETURN(out.nodes,
-                             datalog::EvaluateDatalog(*query_.datalog, doc));
+      TREEQ_ASSIGN_OR_RETURN(
+          out.nodes,
+          datalog::EvaluateDatalog(*query_.datalog, doc, /*stats=*/nullptr,
+                                   exec));
       return out;
     }
     case Language::kCq: {
       if (cq_boolean_) {
         out.is_boolean = true;
         TREEQ_ASSIGN_OR_RETURN(
-            out.boolean, cq::EvaluateBooleanDichotomy(*query_.cq, doc));
+            out.boolean,
+            cq::EvaluateBooleanDichotomy(*query_.cq, doc,
+                                         /*used_tractable_path=*/nullptr,
+                                         exec));
         return out;
       }
-      TREEQ_ASSIGN_OR_RETURN(out.tuples,
-                             cq::EvaluateAcyclic(*query_.cq, doc));
+      TREEQ_ASSIGN_OR_RETURN(
+          out.tuples,
+          cq::EvaluateAcyclic(*query_.cq, doc, UINT64_MAX, exec));
       return out;
     }
     case Language::kFo: {
       out.is_boolean = true;
       if (fo_positive_) {
         TREEQ_ASSIGN_OR_RETURN(
-            out.boolean, fo::EvaluateSentencePositive(*query_.fo, doc));
+            out.boolean,
+            fo::EvaluateSentencePositive(*query_.fo, doc, /*stats=*/nullptr,
+                                         exec));
       } else {
-        TREEQ_ASSIGN_OR_RETURN(out.boolean,
-                               fo::EvaluateSentenceNaive(*query_.fo, doc));
+        TREEQ_ASSIGN_OR_RETURN(
+            out.boolean,
+            fo::EvaluateSentenceNaive(*query_.fo, doc, UINT64_MAX, exec));
       }
       return out;
     }

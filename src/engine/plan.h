@@ -9,6 +9,7 @@
 #include "query/parse.h"
 #include "tree/axes.h"
 #include "tree/document.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 /// \file plan.h
@@ -41,6 +42,9 @@ struct QueryResult {
   Language language = Language::kXPath;
   bool is_boolean = false;
   bool boolean = false;
+  /// True when the engine answered with the streaming fallback instead of
+  /// the set-at-a-time evaluator (graceful degradation under a budget).
+  bool degraded = false;
   NodeSet nodes;                          // kXPath, kDatalog
   std::vector<std::vector<NodeId>> tuples;  // k-ary kCq
 
@@ -67,20 +71,47 @@ class Plan {
   /// sentences). Thread-safe; touches no mutable plan state.
   Result<QueryResult> Run(const Document& doc) const;
 
+  /// Bounded evaluation: every evaluator charge goes to `exec`, so the run
+  /// aborts with DeadlineExceeded / ResourceExhausted / Cancelled as soon
+  /// as a limit trips (util/exec_context.h).
+  Result<QueryResult> Run(const Document& doc, const ExecContext& exec) const;
+
+  /// Bounded evaluation with graceful degradation: when `allow_degraded`
+  /// and the budget classifier (EstimatedVisits vs the remaining visit
+  /// budget) predicts the set-at-a-time evaluator would blow the budget,
+  /// an XPath plan falls back to the O(depth * |Q|)-memory streaming
+  /// evaluator over the forward rewrite computed at Compile() time. The
+  /// result is flagged `degraded` and counted as `engine.degraded`.
+  Result<QueryResult> Run(const Document& doc, const ExecContext& exec,
+                          bool allow_degraded) const;
+
   /// Compile-time routing facts (for tests, logs, and the bench).
   /// CQ only: the Theorem 6.8 signature class.
   cq::SignatureClass cq_class() const { return cq_class_; }
   /// FO only: whether Run uses the Corollary 5.2 pipeline.
   bool fo_positive() const { return fo_positive_; }
+  /// XPath only: whether the streaming fallback is available (the query is
+  /// conjunctive, rewrites to a forward query, and supports selection).
+  bool stream_capable() const { return stream_query_ != nullptr; }
+
+  /// The deterministic work estimate the degradation classifier compares
+  /// against the visit budget: |Q| * (|D| + 1) charge units, mirroring the
+  /// set-at-a-time evaluator's charge schedule.
+  uint64_t EstimatedVisits(const Document& doc) const;
 
  private:
   Plan() = default;
+
+  bool PredictsBlowup(const Document& doc, const ExecContext& exec) const;
 
   std::string text_;
   ParsedQuery query_;
   cq::SignatureClass cq_class_ = cq::SignatureClass::kTau1;
   bool cq_boolean_ = false;
   bool fo_positive_ = false;
+  /// Forward rewrite of an XPath query usable by the streaming fallback;
+  /// null when the query is outside the streamable fragment.
+  std::unique_ptr<xpath::PathExpr> stream_query_;
 };
 
 }  // namespace engine

@@ -7,6 +7,7 @@
 #include "fo/ast.h"
 #include "tree/document.h"
 #include "tree/orders.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 /// \file corollary52.h
@@ -38,16 +39,22 @@ struct Corollary52Stats {
 };
 
 /// Corollary 5.2: truth of a positive FO sentence via the pipeline above.
+/// The ExecContext is charged one linear pass per acyclic disjunct, so
+/// unions blown up by the DNF conversion abort at a deadline.
 Result<bool> EvaluateSentencePositive(const Formula& formula,
                                       const Tree& tree,
                                       const TreeOrders& orders,
-                                      Corollary52Stats* stats = nullptr);
+                                      Corollary52Stats* stats = nullptr,
+                                      const ExecContext& exec =
+                                          ExecContext::Unbounded());
 
 /// Document-taking overload (tree/document.h); thin forwarder.
 inline Result<bool> EvaluateSentencePositive(
     const Formula& formula, const Document& doc,
-    Corollary52Stats* stats = nullptr) {
-  return EvaluateSentencePositive(formula, doc.tree(), doc.orders(), stats);
+    Corollary52Stats* stats = nullptr,
+    const ExecContext& exec = ExecContext::Unbounded()) {
+  return EvaluateSentencePositive(formula, doc.tree(), doc.orders(), stats,
+                                  exec);
 }
 
 }  // namespace fo

@@ -9,12 +9,14 @@ namespace {
 
 class NaiveChecker {
  public:
-  NaiveChecker(const Tree& tree, const TreeOrders& orders, uint64_t budget)
-      : tree_(tree), orders_(orders), budget_(budget) {}
+  NaiveChecker(const Tree& tree, const TreeOrders& orders, uint64_t budget,
+               const ExecContext& exec)
+      : tree_(tree), orders_(orders), budget_(budget), exec_(exec) {}
 
   Result<bool> Eval(const Formula& f, std::map<std::string, NodeId>* env) {
+    TREEQ_RETURN_IF_ERROR(exec_.Charge(1));
     if (budget_ == 0) {
-      return Status::Internal("naive FO evaluation budget exceeded");
+      return Status::ResourceExhausted("naive FO evaluation budget exceeded");
     }
     --budget_;
     switch (f.kind) {
@@ -81,25 +83,28 @@ class NaiveChecker {
   const Tree& tree_;
   const TreeOrders& orders_;
   uint64_t budget_;
+  const ExecContext& exec_;
 };
 
 }  // namespace
 
 Result<bool> EvaluateSentenceNaive(const Formula& formula, const Tree& tree,
-                                   const TreeOrders& orders, uint64_t budget) {
+                                   const TreeOrders& orders, uint64_t budget,
+                                   const ExecContext& exec) {
   if (!FreeVariables(formula).empty()) {
     return Status::InvalidArgument("formula has free variables");
   }
-  NaiveChecker checker(tree, orders, budget);
+  NaiveChecker checker(tree, orders, budget, exec);
   std::map<std::string, NodeId> env;
   return checker.Eval(formula, &env);
 }
 
 Result<cq::TupleSet> EvaluateFoNaive(const Formula& formula, const Tree& tree,
                                      const TreeOrders& orders,
-                                     uint64_t budget) {
+                                     uint64_t budget,
+                                     const ExecContext& exec) {
   std::vector<std::string> free_vars = FreeVariables(formula);
-  NaiveChecker checker(tree, orders, budget);
+  NaiveChecker checker(tree, orders, budget, exec);
   cq::TupleSet result;
   std::vector<NodeId> tuple(free_vars.size(), 0);
   std::map<std::string, NodeId> env;

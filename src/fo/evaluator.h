@@ -7,6 +7,7 @@
 #include "fo/ast.h"
 #include "tree/document.h"
 #include "tree/orders.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 /// \file evaluator.h
@@ -21,27 +22,34 @@ namespace treeq {
 namespace fo {
 
 /// Truth of a closed (sentence) formula. InvalidArgument if free variables
-/// remain; Internal if `budget` recursion steps are exceeded.
+/// remain; ResourceExhausted if `budget` recursion steps are exceeded. The
+/// ExecContext is charged one unit per recursion step, so deadlines and
+/// cancellation abort the PSPACE-hard recursion cooperatively.
 Result<bool> EvaluateSentenceNaive(const Formula& formula, const Tree& tree,
                                    const TreeOrders& orders,
-                                   uint64_t budget = UINT64_MAX);
+                                   uint64_t budget = UINT64_MAX,
+                                   const ExecContext& exec =
+                                       ExecContext::Unbounded());
 
 /// All satisfying assignments of the free variables (in FreeVariables
 /// order), deduplicated and sorted.
 Result<cq::TupleSet> EvaluateFoNaive(const Formula& formula, const Tree& tree,
                                      const TreeOrders& orders,
-                                     uint64_t budget = UINT64_MAX);
+                                     uint64_t budget = UINT64_MAX,
+                                     const ExecContext& exec =
+                                         ExecContext::Unbounded());
 
 /// Document-taking overloads (tree/document.h); thin forwarders.
-inline Result<bool> EvaluateSentenceNaive(const Formula& formula,
-                                          const Document& doc,
-                                          uint64_t budget = UINT64_MAX) {
-  return EvaluateSentenceNaive(formula, doc.tree(), doc.orders(), budget);
+inline Result<bool> EvaluateSentenceNaive(
+    const Formula& formula, const Document& doc, uint64_t budget = UINT64_MAX,
+    const ExecContext& exec = ExecContext::Unbounded()) {
+  return EvaluateSentenceNaive(formula, doc.tree(), doc.orders(), budget,
+                               exec);
 }
-inline Result<cq::TupleSet> EvaluateFoNaive(const Formula& formula,
-                                            const Document& doc,
-                                            uint64_t budget = UINT64_MAX) {
-  return EvaluateFoNaive(formula, doc.tree(), doc.orders(), budget);
+inline Result<cq::TupleSet> EvaluateFoNaive(
+    const Formula& formula, const Document& doc, uint64_t budget = UINT64_MAX,
+    const ExecContext& exec = ExecContext::Unbounded()) {
+  return EvaluateFoNaive(formula, doc.tree(), doc.orders(), budget, exec);
 }
 
 }  // namespace fo

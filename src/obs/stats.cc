@@ -68,10 +68,6 @@ void TableSpan(std::ostream& os, const SpanSnapshot& span, int depth) {
 
 }  // namespace
 
-namespace internal {
-thread_local ShadowCounters* tls_shadow_counters = nullptr;
-}  // namespace internal
-
 ShadowCounters::ShadowCounters() : prev_(internal::tls_shadow_counters) {
   internal::tls_shadow_counters = this;
 }

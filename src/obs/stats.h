@@ -68,7 +68,9 @@ class ShadowCounters {
 
 namespace internal {
 /// The calling thread's active shadow buffer (innermost, if nested).
-extern thread_local ShadowCounters* tls_shadow_counters;
+/// Defined inline (constant-initialized) so reads compile to a direct TLS
+/// load in every TU instead of a cross-TU wrapper call.
+inline thread_local ShadowCounters* tls_shadow_counters = nullptr;
 }  // namespace internal
 
 /// A monotonic event counter. Updates are relaxed atomic adds — or, when

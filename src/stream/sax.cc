@@ -6,9 +6,16 @@ namespace treeq {
 namespace stream {
 
 void StreamTree(const Tree& tree, const SaxHandler& handler) {
+  Status s = StreamTree(tree, handler, ExecContext::Unbounded());
+  TREEQ_CHECK(s.ok());  // unbounded contexts never trip
+}
+
+Status StreamTree(const Tree& tree, const SaxHandler& handler,
+                  const ExecContext& exec) {
   // Iterative DFS emitting start on entry and end on exit.
   std::vector<NodeId> stack = {tree.root()};
   while (!stack.empty()) {
+    TREEQ_RETURN_IF_ERROR(exec.Charge(1));
     NodeId top = stack.back();
     stack.pop_back();
     if (top < 0) {
@@ -35,6 +42,7 @@ void StreamTree(const Tree& tree, const SaxHandler& handler) {
       stack.push_back(*it);
     }
   }
+  return Status::OK();
 }
 
 std::vector<SaxEvent> ToSaxEvents(const Tree& tree) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "tree/tree.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 /// \file sax.h
@@ -33,6 +34,11 @@ using SaxHandler = std::function<void(const SaxEvent&)>;
 
 /// Streams a materialized tree (iteratively; safe for deep documents).
 void StreamTree(const Tree& tree, const SaxHandler& handler);
+
+/// Bounded variant: charges `exec` one unit per event and stops streaming —
+/// mid-document — as soon as a limit trips, returning the abort status.
+Status StreamTree(const Tree& tree, const SaxHandler& handler,
+                  const ExecContext& exec);
 
 /// Materialized event list (for tests).
 std::vector<SaxEvent> ToSaxEvents(const Tree& tree);

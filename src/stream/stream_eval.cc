@@ -592,16 +592,29 @@ const StreamStats& StreamMatcher::stats() const { return impl_->stats(); }
 
 Result<bool> StreamMatcher::MatchTree(const xpath::PathExpr& query,
                                       const Tree& tree, StreamStats* stats) {
+  return MatchTree(query, tree, stats, ExecContext::Unbounded());
+}
+
+Result<bool> StreamMatcher::MatchTree(const xpath::PathExpr& query,
+                                      const Tree& tree, StreamStats* stats,
+                                      const ExecContext& exec) {
   TREEQ_OBS_SPAN("stream.match_tree");
   TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<StreamMatcher> matcher,
                          Compile(query));
-  StreamTree(tree, [&matcher](const SaxEvent& e) { matcher->OnEvent(e); });
+  TREEQ_RETURN_IF_ERROR(StreamTree(
+      tree, [&matcher](const SaxEvent& e) { matcher->OnEvent(e); }, exec));
   if (stats != nullptr) *stats = matcher->stats();
   return matcher->Matches();
 }
 
 Result<std::vector<NodeId>> StreamMatcher::SelectFromTree(
     const xpath::PathExpr& query, const Tree& tree, StreamStats* stats) {
+  return SelectFromTree(query, tree, stats, ExecContext::Unbounded());
+}
+
+Result<std::vector<NodeId>> StreamMatcher::SelectFromTree(
+    const xpath::PathExpr& query, const Tree& tree, StreamStats* stats,
+    const ExecContext& exec) {
   TREEQ_OBS_SPAN("stream.select_from_tree");
   TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<StreamMatcher> matcher,
                          Compile(query));
@@ -609,7 +622,8 @@ Result<std::vector<NodeId>> StreamMatcher::SelectFromTree(
     return Status::Unsupported(
         "node selection needs label-only qualifiers on non-final steps");
   }
-  StreamTree(tree, [&matcher](const SaxEvent& e) { matcher->OnEvent(e); });
+  TREEQ_RETURN_IF_ERROR(StreamTree(
+      tree, [&matcher](const SaxEvent& e) { matcher->OnEvent(e); }, exec));
   if (stats != nullptr) *stats = matcher->stats();
   return matcher->SelectedNodes();
 }

@@ -82,6 +82,17 @@ class StreamMatcher {
       const xpath::PathExpr& query, const Tree& tree,
       StreamStats* stats = nullptr);
 
+  /// Bounded variants (util/exec_context.h): charge `exec` one unit per SAX
+  /// event and abort mid-stream when a limit trips. Because the matcher's
+  /// state is O(depth * |Q|), aborting leaves nothing big to tear down —
+  /// this is the engine's graceful-degradation fallback path.
+  static Result<bool> MatchTree(const xpath::PathExpr& query,
+                                const Tree& tree, StreamStats* stats,
+                                const ExecContext& exec);
+  static Result<std::vector<NodeId>> SelectFromTree(
+      const xpath::PathExpr& query, const Tree& tree, StreamStats* stats,
+      const ExecContext& exec);
+
  private:
   class Impl;
   explicit StreamMatcher(std::unique_ptr<Impl> impl);

@@ -65,7 +65,7 @@ class XmlParser {
             Peek() == '-' || Peek() == '.' || Peek() == ':')) {
       ++pos_;
     }
-    if (pos_ == start) return Status::ParseError("expected a name");
+    if (pos_ == start) return Error("expected a name");
     return std::string(input_.substr(start, pos_ - start));
   }
 
@@ -106,15 +106,17 @@ class XmlParser {
     return out;
   }
 
-  Status ParseElement() {
+  // Parses the start tag at pos_ (name plus attributes), emitting BeginNode
+  // (and EndNode when self-closing). Leaves pos_ past the closing '>'.
+  Status ParseStartTag(std::string* tag, bool* self_closing) {
     TREEQ_CHECK(Peek() == '<');
     ++pos_;
-    TREEQ_ASSIGN_OR_RETURN(std::string tag, ParseName());
-    NodeId node = builder_.BeginNode(tag);
+    TREEQ_ASSIGN_OR_RETURN(*tag, ParseName());
+    NodeId node = builder_.BeginNode(*tag);
     // Attributes.
     for (;;) {
       SkipWhitespace();
-      if (Eof()) return Error("unexpected end inside tag <" + tag);
+      if (Eof()) return Error("unexpected end inside tag <" + *tag);
       if (Peek() == '>' || Peek() == '/') break;
       TREEQ_ASSIGN_OR_RETURN(std::string attr, ParseName());
       SkipWhitespace();
@@ -139,51 +141,73 @@ class XmlParser {
       if (Eof() || Peek() != '>') return Error("expected '>' after '/'");
       ++pos_;
       builder_.EndNode();
+      *self_closing = true;
       return Status::OK();
     }
     ++pos_;  // consume '>'
-    // Content.
+    *self_closing = false;
+    return Status::OK();
+  }
+
+  // Iterative element parser. An explicit stack of open tag names replaces
+  // recursion, so document depth is bounded by max_depth and the heap rather
+  // than the call stack (deep inputs must not overflow, even under
+  // sanitizers that inflate stack frames).
+  Status ParseElement() {
+    std::vector<std::string> open;
     for (;;) {
-      size_t text_start = pos_;
-      while (!Eof() && Peek() != '<') ++pos_;
-      if (options_.keep_text) {
-        std::string text =
-            DecodeEntities(input_.substr(text_start, pos_ - text_start));
-        bool all_space = true;
-        for (char c : text) {
-          if (!std::isspace(static_cast<unsigned char>(c))) all_space = false;
+      // pos_ is at the '<' of a start tag here.
+      if (static_cast<int>(open.size()) + 1 > options_.max_depth) {
+        return Error("element nesting deeper than " +
+                     std::to_string(options_.max_depth));
+      }
+      std::string tag;
+      bool self_closing = false;
+      TREEQ_RETURN_IF_ERROR(ParseStartTag(&tag, &self_closing));
+      if (!self_closing) open.push_back(std::move(tag));
+      // Content of the innermost open element: text, misc, and close tags,
+      // until a child start tag sends us back around the outer loop.
+      while (!open.empty()) {
+        size_t text_start = pos_;
+        while (!Eof() && Peek() != '<') ++pos_;
+        if (options_.keep_text) {
+          std::string text =
+              DecodeEntities(input_.substr(text_start, pos_ - text_start));
+          bool all_space = true;
+          for (char c : text) {
+            if (!std::isspace(static_cast<unsigned char>(c))) all_space = false;
+          }
+          if (!all_space) {
+            NodeId t = builder_.BeginNode("#text");
+            builder_.AddLabel(t, "#text=" + text);
+            builder_.EndNode();
+          }
         }
-        if (!all_space) {
-          NodeId t = builder_.BeginNode("#text");
-          builder_.AddLabel(t, "#text=" + text);
+        if (Eof()) return Error("unexpected end inside <" + open.back() + ">");
+        if (input_.substr(pos_).starts_with("</")) {
+          pos_ += 2;
+          TREEQ_ASSIGN_OR_RETURN(std::string close, ParseName());
+          if (close != open.back()) {
+            return Error("mismatched close tag </" + close + "> for <" +
+                         open.back() + ">");
+          }
+          SkipWhitespace();
+          if (Eof() || Peek() != '>') return Error("expected '>' in close tag");
+          ++pos_;
           builder_.EndNode();
+          open.pop_back();
+          continue;
         }
-      }
-      if (Eof()) return Error("unexpected end inside <" + tag + ">");
-      if (input_.substr(pos_).starts_with("</")) {
-        pos_ += 2;
-        TREEQ_ASSIGN_OR_RETURN(std::string close, ParseName());
-        if (close != tag) {
-          return Error("mismatched close tag </" + close + "> for <" + tag +
-                       ">");
+        if (input_.substr(pos_).starts_with("<!--") ||
+            input_.substr(pos_).starts_with("<?") ||
+            input_.substr(pos_).starts_with("<!")) {
+          SkipMisc();
+          continue;
         }
-        SkipWhitespace();
-        if (Eof() || Peek() != '>') return Error("expected '>' in close tag");
-        ++pos_;
-        builder_.EndNode();
-        return Status::OK();
+        if (AtTagOpen()) break;
+        return Error("unexpected '<'");
       }
-      if (input_.substr(pos_).starts_with("<!--") ||
-          input_.substr(pos_).starts_with("<?") ||
-          input_.substr(pos_).starts_with("<!")) {
-        SkipMisc();
-        continue;
-      }
-      if (AtTagOpen()) {
-        TREEQ_RETURN_IF_ERROR(ParseElement());
-        continue;
-      }
-      return Error("unexpected '<'");
+      if (open.empty()) return Status::OK();
     }
   }
 

@@ -23,6 +23,13 @@ namespace treeq {
 struct XmlOptions {
   /// Keep non-whitespace text content as "#text"-labeled leaf children.
   bool keep_text = false;
+  /// Maximum element nesting depth. The parser itself is iterative (heap
+  /// stack), but the trees it produces are consumed by recursive traversals
+  /// elsewhere, and an unbounded `<a><a><a>...` input would make the parse
+  /// result a stack-overflow hazard for them; deeper documents get a
+  /// ParseError (with offset) instead. Raise it explicitly to admit deeper
+  /// documents.
+  int max_depth = 10000;
 };
 
 /// Parses `input` into a Tree. Returns ParseError with a position on

@@ -23,6 +23,9 @@ enum class StatusCode {
   kUnsupported,
   kInternal,
   kUnavailable,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kCancelled,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "InvalidArgument",
@@ -56,9 +59,23 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
   /// A resource that exists but is not currently serving (e.g. submitting
-  /// to an executor that has shut down).
+  /// to an executor that has shut down, or one whose admission queue is
+  /// saturated).
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// An evaluation ran past its wall-clock deadline (util/exec_context.h).
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// An evaluation exhausted a deterministic resource budget (node visits,
+  /// memory) before completing.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// The caller cancelled the evaluation cooperatively.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

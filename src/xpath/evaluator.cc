@@ -12,11 +12,33 @@ namespace {
 /// document's cached label index. With an index, the label-filter step is a
 /// word-wise copy of a prebuilt bitmap; without, it falls back to the
 /// arena scan.
+///
+/// When `exec` is set, every subexpression operation charges the
+/// ExecContext; the first failed charge lands in `*abort` and all further
+/// recursion short-circuits (returning empty sets that the entry point
+/// discards in favor of the abort status).
 struct EvalCtx {
   const Tree& tree;
   const TreeOrders& orders;
   const LabelIndex* labels = nullptr;
+  const ExecContext* exec = nullptr;
+  Status* abort = nullptr;
 };
+
+/// True once a bounded evaluation has tripped a limit.
+bool Aborted(const EvalCtx& ctx) {
+  return ctx.abort != nullptr && !ctx.abort->ok();
+}
+
+/// Charges `units` against the context's budget; returns false (recording
+/// the abort status) when a limit trips.
+bool ChargeOp(const EvalCtx& ctx, uint64_t units) {
+  if (ctx.exec == nullptr) return true;
+  Status s = ctx.exec->Charge(units);
+  if (s.ok()) return true;
+  *ctx.abort = std::move(s);
+  return false;
+}
 
 NodeSet EvalPathCtx(const EvalCtx& ctx, const PathExpr& path,
                     const NodeSet& context);
@@ -27,6 +49,7 @@ NodeSet EvalPathExistsCtx(const EvalCtx& ctx, const PathExpr& path,
 /// Intersection of the step's qualifier sets with `set`, in place.
 void ApplyQualifiers(const EvalCtx& ctx, const PathExpr& step, NodeSet* set) {
   for (const auto& q : step.qualifiers) {
+    if (Aborted(ctx)) return;
     TREEQ_OBS_INC("xpath.qualifier_ops");
     NodeSet b = EvalQualifierCtx(ctx, *q);
     set->IntersectWith(b);
@@ -36,9 +59,13 @@ void ApplyQualifiers(const EvalCtx& ctx, const PathExpr& step, NodeSet* set) {
 NodeSet EvalPathCtx(const EvalCtx& ctx, const PathExpr& path,
                     const NodeSet& context) {
   const int n = ctx.tree.num_nodes();
+  if (Aborted(ctx)) return NodeSet(n);
   switch (path.kind) {
     case PathExpr::Kind::kStep: {
       NodeSet out(n);
+      if (!ChargeOp(ctx, 1 + static_cast<uint64_t>(context.size()))) {
+        return out;
+      }
       TREEQ_OBS_INC("xpath.axis_ops");
       TREEQ_OBS_HISTOGRAM("xpath.context_size", context.size());
       AxisImage(ctx.tree, ctx.orders, path.axis, context, &out);
@@ -63,6 +90,9 @@ NodeSet EvalPathCtx(const EvalCtx& ctx, const PathExpr& path,
 
 NodeSet EvalQualifierCtx(const EvalCtx& ctx, const Qualifier& q) {
   const int n = ctx.tree.num_nodes();
+  if (Aborted(ctx) || !ChargeOp(ctx, 1 + static_cast<uint64_t>(n) / 64)) {
+    return NodeSet(n);
+  }
   switch (q.kind) {
     case Qualifier::Kind::kPath:
       return EvalPathExistsCtx(ctx, *q.path, NodeSet::All(n));
@@ -103,6 +133,7 @@ NodeSet EvalQualifierCtx(const EvalCtx& ctx, const Qualifier& q) {
 NodeSet EvalPathExistsCtx(const EvalCtx& ctx, const PathExpr& path,
                           const NodeSet& target) {
   const int n = ctx.tree.num_nodes();
+  if (Aborted(ctx)) return NodeSet(n);
   switch (path.kind) {
     case PathExpr::Kind::kStep: {
       // n reaches the target via this step iff some node in
@@ -110,6 +141,9 @@ NodeSet EvalPathExistsCtx(const EvalCtx& ctx, const PathExpr& path,
       NodeSet restricted = target;
       ApplyQualifiers(ctx, path, &restricted);
       NodeSet out(n);
+      if (!ChargeOp(ctx, 1 + static_cast<uint64_t>(restricted.size()))) {
+        return out;
+      }
       TREEQ_OBS_INC("xpath.axis_ops");
       TREEQ_OBS_HISTOGRAM("xpath.context_size", restricted.size());
       AxisImage(ctx.tree, ctx.orders, InverseAxis(path.axis), restricted,
@@ -178,6 +212,35 @@ NodeSet EvalQueryFromRoot(const Document& doc, const PathExpr& path) {
   TREEQ_OBS_SPAN("xpath.eval");
   return EvalPath(doc, path,
                   NodeSet::Singleton(doc.num_nodes(), doc.tree().root()));
+}
+
+Result<NodeSet> EvalPath(const Document& doc, const PathExpr& path,
+                         const NodeSet& context, const ExecContext& exec) {
+  Status abort;
+  EvalCtx ctx{doc.tree(), doc.orders(), &doc.label_index(), &exec, &abort};
+  NodeSet out = EvalPathCtx(ctx, path, context);
+  if (!abort.ok()) return abort;
+  return out;
+}
+
+Result<NodeSet> EvalQueryFromRoot(const Document& doc, const PathExpr& path,
+                                  const ExecContext& exec) {
+  TREEQ_OBS_SPAN("xpath.eval");
+  return EvalPath(doc, path,
+                  NodeSet::Singleton(doc.num_nodes(), doc.tree().root()),
+                  exec);
+}
+
+Result<NodeSet> EvalQueryFromRoot(const Tree& tree, const TreeOrders& orders,
+                                  const PathExpr& path,
+                                  const ExecContext& exec) {
+  TREEQ_OBS_SPAN("xpath.eval");
+  Status abort;
+  EvalCtx ctx{tree, orders, nullptr, &exec, &abort};
+  NodeSet out = EvalPathCtx(
+      ctx, path, NodeSet::Singleton(tree.num_nodes(), tree.root()));
+  if (!abort.ok()) return abort;
+  return out;
 }
 
 }  // namespace xpath

@@ -5,6 +5,8 @@
 #include "tree/document.h"
 #include "tree/orders.h"
 #include "tree/tree.h"
+#include "util/exec_context.h"
+#include "util/status.h"
 #include "xpath/ast.h"
 
 /// \file evaluator.h
@@ -49,6 +51,20 @@ NodeSet EvalQualifier(const Document& doc, const Qualifier& q);
 NodeSet EvalPathExists(const Document& doc, const PathExpr& path,
                        const NodeSet& target);
 NodeSet EvalQueryFromRoot(const Document& doc, const PathExpr& path);
+
+/// Bounded variants (util/exec_context.h): identical semantics, but the
+/// evaluation charges `exec` one unit per subexpression operation plus one
+/// per context/restriction node touched, and aborts with the context's
+/// DeadlineExceeded / ResourceExhausted / Cancelled status as soon as a
+/// limit trips. The charge schedule is deterministic for a fixed
+/// (document, query) pair, so visit budgets are exactly reproducible.
+Result<NodeSet> EvalPath(const Document& doc, const PathExpr& path,
+                         const NodeSet& context, const ExecContext& exec);
+Result<NodeSet> EvalQueryFromRoot(const Document& doc, const PathExpr& path,
+                                  const ExecContext& exec);
+Result<NodeSet> EvalQueryFromRoot(const Tree& tree, const TreeOrders& orders,
+                                  const PathExpr& path,
+                                  const ExecContext& exec);
 
 }  // namespace xpath
 }  // namespace treeq

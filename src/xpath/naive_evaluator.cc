@@ -10,8 +10,9 @@ namespace {
 class NaiveEvaluator {
  public:
   NaiveEvaluator(const Tree& tree, const TreeOrders& orders, uint64_t budget,
-                 NaiveStats* stats)
-      : tree_(tree), orders_(orders), budget_(budget), stats_(stats) {}
+                 NaiveStats* stats, const ExecContext& exec)
+      : tree_(tree), orders_(orders), budget_(budget), stats_(stats),
+        exec_(exec) {}
 
   Result<NodeSet> EvalPath(const PathExpr& path, NodeId context) {
     TREEQ_RETURN_IF_ERROR(Charge());
@@ -90,9 +91,11 @@ class NaiveEvaluator {
   Status Charge() {
     TREEQ_OBS_INC("xpath.naive.rule_applications");
     if (stats_ != nullptr) ++stats_->rule_applications;
+    TREEQ_RETURN_IF_ERROR(exec_.Charge(1));
     if (budget_ == 0) {
       TREEQ_OBS_INC("xpath.naive.budget_exhaustions");
-      return Status::Internal("naive XPath evaluation budget exceeded");
+      return Status::ResourceExhausted(
+          "naive XPath evaluation budget exceeded");
     }
     --budget_;
     return Status::OK();
@@ -102,21 +105,24 @@ class NaiveEvaluator {
   const TreeOrders& orders_;
   uint64_t budget_;
   NaiveStats* stats_;
+  const ExecContext& exec_;
 };
 
 }  // namespace
 
 Result<NodeSet> NaiveEvalPath(const Tree& tree, const TreeOrders& orders,
                               const PathExpr& path, NodeId context,
-                              uint64_t budget, NaiveStats* stats) {
-  NaiveEvaluator eval(tree, orders, budget, stats);
+                              uint64_t budget, NaiveStats* stats,
+                              const ExecContext& exec) {
+  NaiveEvaluator eval(tree, orders, budget, stats, exec);
   return eval.EvalPath(path, context);
 }
 
 Result<bool> NaiveEvalQualifier(const Tree& tree, const TreeOrders& orders,
                                 const Qualifier& q, NodeId context,
-                                uint64_t budget, NaiveStats* stats) {
-  NaiveEvaluator eval(tree, orders, budget, stats);
+                                uint64_t budget, NaiveStats* stats,
+                                const ExecContext& exec) {
+  NaiveEvaluator eval(tree, orders, budget, stats, exec);
   return eval.EvalQualifier(q, context);
 }
 

@@ -6,6 +6,7 @@
 #include "tree/axes.h"
 #include "tree/orders.h"
 #include "tree/tree.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 #include "xpath/ast.h"
 
@@ -26,19 +27,25 @@ struct NaiveStats {
   uint64_t rule_applications = 0;
 };
 
-/// [[path]](context) as a node set, or Internal if `budget` rule
+/// [[path]](context) as a node set, or ResourceExhausted if `budget` rule
 /// applications were exceeded (the evaluator is exponential; the budget
-/// keeps tests and benches bounded).
+/// keeps tests and benches bounded). The ExecContext (util/exec_context.h)
+/// is charged one unit per rule application, so deadlines and external
+/// budgets abort the recursion cooperatively.
 Result<NodeSet> NaiveEvalPath(const Tree& tree, const TreeOrders& orders,
                               const PathExpr& path, NodeId context,
                               uint64_t budget = UINT64_MAX,
-                              NaiveStats* stats = nullptr);
+                              NaiveStats* stats = nullptr,
+                              const ExecContext& exec =
+                                  ExecContext::Unbounded());
 
 /// [[q]](context) as a Boolean, with the same budget contract.
 Result<bool> NaiveEvalQualifier(const Tree& tree, const TreeOrders& orders,
                                 const Qualifier& q, NodeId context,
                                 uint64_t budget = UINT64_MAX,
-                                NaiveStats* stats = nullptr);
+                                NaiveStats* stats = nullptr,
+                                const ExecContext& exec =
+                                    ExecContext::Unbounded());
 
 }  // namespace xpath
 }  // namespace treeq

@@ -7,6 +7,14 @@ namespace treeq {
 namespace xpath {
 namespace {
 
+/// Maximum expression nesting (parens, qualifiers) the recursive-descent
+/// parser accepts. Each level costs several call-stack frames, so without a
+/// bound a pathological "a[a[a[...]]]" input overflows the stack; deeper
+/// expressions get a ParseError (with offset) instead. 512 levels admit any
+/// realistic query while keeping peak parser stack well under common stack
+/// limits, even with sanitizer-inflated frames.
+constexpr int kMaxNesting = 512;
+
 class XPathParser {
  public:
   explicit XPathParser(std::string_view input) : input_(input) {}
@@ -98,7 +106,26 @@ class XPathParser {
     return ParseName();
   }
 
+  /// RAII nesting-depth tracker. Every recursion cycle in this grammar goes
+  /// through ParseUnion or ParseQualOr, so guarding those two bounds the
+  /// whole parse.
+  class DepthGuard {
+   public:
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+
+   private:
+    int* depth_;
+  };
+
+  Status NestingError() {
+    return Error("expression nesting deeper than " +
+                 std::to_string(kMaxNesting));
+  }
+
   Result<std::unique_ptr<PathExpr>> ParseUnion(bool anchor_first_step) {
+    DepthGuard guard(&depth_);
+    if (depth_ > kMaxNesting) return NestingError();
     TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> left,
                            ParseSeq(anchor_first_step));
     while (Match("|")) {
@@ -195,6 +222,8 @@ class XPathParser {
   }
 
   Result<std::unique_ptr<Qualifier>> ParseQualOr() {
+    DepthGuard guard(&depth_);
+    if (depth_ > kMaxNesting) return NestingError();
     TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> left, ParseQualAnd());
     while (MatchWord("or")) {
       TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> right, ParseQualAnd());
@@ -248,6 +277,7 @@ class XPathParser {
 
   std::string_view input_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <future>
+#include <memory>
+#include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -312,6 +316,238 @@ TEST(ExecutorTest, SubmitAfterShutdownFails) {
   exec.reset();  // close + drain + join
   for (auto& f : futures) EXPECT_TRUE(f.get().ok());
 }
+
+TEST(ExecutorTest, SubmitAfterExplicitShutdownReturnsUnavailable) {
+  DocumentPtr doc = Catalog(7, 5);
+  PlanPtr plan = Plan::Compile(Language::kXPath, "//a").value();
+  Executor exec(Executor::Options{.num_workers = 2, .queue_capacity = 4});
+  ASSERT_TRUE(exec.Submit(plan, doc).get().ok());
+  exec.Shutdown();
+  exec.Shutdown();  // idempotent
+
+  // Both Submit overloads: an already-failed future, never a hang or a
+  // broken promise.
+  Result<QueryResult> plain = exec.Submit(plan, doc).get();
+  ASSERT_FALSE(plain.ok());
+  EXPECT_EQ(plain.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(plain.status().message().find("shut down"), std::string::npos);
+
+  Submission bounded = exec.Submit(plan, doc, SubmitOptions{});
+  Result<QueryResult> r = bounded.future.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ExecutorTest, ConcurrentSubmitAndShutdownNeverBreaksPromises) {
+  // Race many Submits against Shutdown: every future must complete with
+  // either a real result or Unavailable — a broken promise would throw.
+  DocumentPtr doc = Catalog(7, 5);
+  PlanPtr plan = Plan::Compile(Language::kXPath, "//name").value();
+  for (int round = 0; round < 20; ++round) {
+    Executor exec(Executor::Options{.num_workers = 2, .queue_capacity = 2});
+    std::vector<std::future<Result<QueryResult>>> futures;
+    std::mutex mu;
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < 10; ++i) {
+          SubmitOptions opts;
+          opts.reject_when_full = true;  // non-blocking: can race Shutdown
+          Submission s = exec.Submit(plan, doc, opts);
+          std::lock_guard<std::mutex> lock(mu);
+          futures.push_back(std::move(s.future));
+        }
+      });
+    }
+    exec.Shutdown();
+    for (auto& th : submitters) th.join();
+    for (auto& f : futures) {
+      Result<QueryResult> r = f.get();  // must not throw
+      if (!r.ok()) {
+        EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+      }
+    }
+  }
+}
+
+TEST(ExecutorTest, AdmissionControlRejectsWhenSaturated) {
+  DocumentPtr doc = Catalog(3, 60);
+  PlanPtr plan =
+      Plan::Compile(Language::kXPath, "//product[reviews]//rating5").value();
+  // One worker, one queue slot: pile on non-blocking submits until at
+  // least one is rejected, without ever blocking the test thread.
+  Executor exec(Executor::Options{.num_workers = 1, .queue_capacity = 1});
+  SubmitOptions opts;
+  opts.reject_when_full = true;
+  std::vector<Submission> submissions;
+  int rejected = 0;
+  for (int i = 0; i < 64; ++i) {
+    submissions.push_back(exec.Submit(plan, doc, opts));
+  }
+  for (auto& s : submissions) {
+    Result<QueryResult> r = s.future.get();
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+      EXPECT_NE(r.status().message().find("full"), std::string::npos);
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(ExecutorTest, DeadlineExceededPromptly) {
+  // A deliberately expensive request (naive FO evaluation over a sizable
+  // document) with a 10ms deadline must come back DeadlineExceeded, and
+  // promptly: well before the seconds it would take to finish.
+  DocumentPtr doc = Catalog(11, 300);
+  PlanPtr plan =
+      Plan::Compile(Language::kFo,
+                    "forall x . forall y . forall z . "
+                    "(not Child(x, y) or not Child(y, z) or not Lab_zzz(x))")
+          .value();
+  Executor exec(Executor::Options{.num_workers = 1, .queue_capacity = 4});
+  SubmitOptions opts;
+  opts.timeout = std::chrono::milliseconds(10);
+  auto start = std::chrono::steady_clock::now();
+  Submission s = exec.Submit(plan, doc, opts);
+  Result<QueryResult> r = s.future.get();
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  // "Promptly": an order of magnitude headroom over the 2x-deadline
+  // acceptance bar would flake under CI scheduling noise, so allow 50x —
+  // still thousands of times shorter than running to completion.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(500));
+}
+
+TEST(ExecutorTest, CancelledFutureNeverDeliversAResult) {
+  DocumentPtr doc = Catalog(13, 300);
+  PlanPtr plan =
+      Plan::Compile(Language::kFo,
+                    "forall x . forall y . forall z . "
+                    "(not Child(x, y) or not Child(y, z) or not Lab_zzz(x))")
+          .value();
+  Executor exec(Executor::Options{.num_workers = 1, .queue_capacity = 4});
+  SubmitOptions opts;
+  opts.visit_budget = UINT64_MAX - 1;  // bounded context, huge budget
+  Submission s = exec.Submit(plan, doc, opts);
+  s.Cancel();  // may land before, during, or after the worker picks it up
+  Result<QueryResult> r = s.future.get();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ExecutorTest, VisitBudgetIsDeterministicAcrossSubmissions) {
+  DocumentPtr doc = Catalog(17, 40);
+  PlanPtr plan =
+      Plan::Compile(Language::kXPath, "//product[reviews/review]/name")
+          .value();
+  Executor exec(Executor::Options{.num_workers = 2, .queue_capacity = 8});
+
+  // Meter the true cost once, then check the boundary is exact and stable.
+  SubmitOptions metered;
+  metered.visit_budget = UINT64_MAX - 1;
+  Submission probe = exec.Submit(plan, doc, metered);
+  ASSERT_TRUE(probe.future.get().ok());
+  const uint64_t cost = probe.context->visits_used();
+  ASSERT_GT(cost, 0u);
+
+  for (int run = 0; run < 5; ++run) {
+    SubmitOptions enough;
+    enough.visit_budget = cost;
+    EXPECT_TRUE(exec.Submit(plan, doc, enough).future.get().ok()) << run;
+
+    SubmitOptions starved;
+    starved.visit_budget = cost - 1;
+    Result<QueryResult> r = exec.Submit(plan, doc, starved).future.get();
+    ASSERT_FALSE(r.ok()) << run;
+    EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(ExecutorTest, DegradedFallbackStreamsUnderTinyBudget) {
+  // On a deep all-"a" chain, every step of //a//a//a//a carries a context
+  // of ~n nodes, so the set-at-a-time evaluator charges several times more
+  // than the streaming evaluator's one-unit-per-event pass. That gap is
+  // where graceful degradation pays off.
+  DocumentPtr doc = MakeDocumentWithOrders(Chain(2000, "a"));
+  PlanPtr plan = Plan::Compile(Language::kXPath, "//a//a//a//a").value();
+  ASSERT_TRUE(plan->stream_capable());
+  NodeSet expected = plan->Run(*doc).value().nodes;
+
+  Executor exec(Executor::Options{.num_workers = 1, .queue_capacity = 4});
+
+  // Meter the set-at-a-time cost (a huge budget never predicts blowup, so
+  // no degradation happens on the probe).
+  SubmitOptions metered;
+  metered.visit_budget = UINT64_MAX - 1;
+  Submission probe = exec.Submit(plan, doc, metered);
+  ASSERT_TRUE(probe.future.get().ok());
+  const uint64_t cost = probe.context->visits_used();
+
+  // Just under the in-memory cost: without degradation the request dies.
+  SubmitOptions opts;
+  opts.visit_budget = cost - 1;
+  Result<QueryResult> hard = exec.Submit(plan, doc, opts).future.get();
+  ASSERT_FALSE(hard.ok());
+  EXPECT_EQ(hard.status().code(), StatusCode::kResourceExhausted);
+
+  // With degradation the classifier routes the same budget to the
+  // streaming evaluator, which fits comfortably and produces the exact
+  // answer, flagged as degraded.
+  opts.allow_degraded = true;
+  Result<QueryResult> soft = exec.Submit(plan, doc, opts).future.get();
+  ASSERT_TRUE(soft.ok()) << soft.status().ToString();
+  EXPECT_TRUE(soft->degraded);
+  EXPECT_EQ(soft->nodes, expected);
+
+  // Negation is outside the conjunctive forward-rewrite fragment, so such
+  // a plan is not stream-capable and cannot degrade.
+  PlanPtr opaque =
+      Plan::Compile(Language::kXPath, "//review[not(b)]").value();
+  EXPECT_FALSE(opaque->stream_capable());
+}
+
+#ifndef TREEQ_OBS_DISABLED
+TEST(ExecutorTest, BoundedExecutionCountersExported) {
+  obs::StatsRegistry& reg = obs::StatsRegistry::Global();
+  reg.Reset();
+  DocumentPtr doc = Catalog(23, 100);
+  PlanPtr plan =
+      Plan::Compile(Language::kXPath, "//product[reviews]//rating5").value();
+  {
+    Executor exec(Executor::Options{.num_workers = 1, .queue_capacity = 1});
+
+    SubmitOptions starved;
+    starved.visit_budget = 1;
+    EXPECT_FALSE(exec.Submit(plan, doc, starved).future.get().ok());
+
+    SubmitOptions late;
+    late.timeout = std::chrono::nanoseconds(1);
+    Result<QueryResult> r = exec.Submit(plan, doc, late).future.get();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+
+    SubmitOptions reject;
+    reject.reject_when_full = true;
+    std::vector<Submission> burst;
+    for (int i = 0; i < 64; ++i) {
+      burst.push_back(exec.Submit(plan, doc, reject));
+    }
+    for (auto& s : burst) s.future.get();
+  }
+  EXPECT_GE(reg.CounterValue("exec.budget_exhausted"), 1u);
+  EXPECT_GE(reg.CounterValue("exec.deadline_exceeded"), 1u);
+  EXPECT_GE(reg.CounterValue("engine.rejected"), 1u);
+
+  // The JSON export carries all three names.
+  std::ostringstream json;
+  reg.DumpJson(json);
+  EXPECT_NE(json.str().find("\"exec.budget_exhausted\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"exec.deadline_exceeded\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"engine.rejected\""), std::string::npos);
+}
+#endif  // TREEQ_OBS_DISABLED
 
 }  // namespace
 }  // namespace engine

@@ -4,11 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cq/parser.h"
 #include "datalog/parser.h"
 #include "fo/parser.h"
+#include "query/parse.h"
 #include "tree/xml.h"
 #include "util/random.h"
 #include "xpath/parser.h"
@@ -70,15 +74,138 @@ TEST(ParserFuzzTest, NearMissInputs) {
   SUCCEED();
 }
 
+// Asserts the parser error contract: kParseError whose message ends in
+// " at offset <N>" with N a byte offset inside (or just past) the input.
+void ExpectOffsetError(const Status& status, size_t input_size,
+                       const std::string& input_for_message) {
+  EXPECT_EQ(status.code(), StatusCode::kParseError) << input_for_message;
+  const std::string& msg = status.message();
+  size_t marker = msg.rfind(" at offset ");
+  ASSERT_NE(marker, std::string::npos)
+      << "no offset in error for input: " << input_for_message
+      << "\n  message: " << msg;
+  std::string digits = msg.substr(marker + 11);
+  ASSERT_FALSE(digits.empty()) << msg;
+  uint64_t offset = 0;
+  for (char c : digits) {
+    ASSERT_TRUE(std::isdigit(static_cast<unsigned char>(c)))
+        << "non-numeric offset suffix in: " << msg;
+    offset = offset * 10 + static_cast<uint64_t>(c - '0');
+  }
+  EXPECT_LE(offset, input_size)
+      << "offset past end of input for: " << input_for_message;
+}
+
+TEST(XmlFuzzTest, DepthGuardStopsRunawayNesting) {
+  // 200k unclosed opens would previously recurse 200k frames deep; the
+  // depth guard must turn that into an offset-carrying ParseError well
+  // before the stack is at risk.
+  std::string bomb;
+  bomb.reserve(600000);
+  for (int i = 0; i < 200000; ++i) bomb += "<a>";
+  Result<Tree> r = ParseXml(bomb);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("nesting deeper"), std::string::npos);
+  ExpectOffsetError(r.status(), bomb.size(), "<a>*200000");
+
+  // The same bomb closed properly is still over the limit: balance does
+  // not matter, depth does.
+  std::string balanced = bomb;
+  for (int i = 0; i < 200000; ++i) balanced += "</a>";
+  EXPECT_FALSE(ParseXml(balanced).ok());
+}
+
+TEST(XmlFuzzTest, DepthGuardBoundaryIsExact) {
+  XmlOptions options;
+  options.max_depth = 32;
+  auto nested = [](int depth) {
+    std::string doc;
+    for (int i = 0; i < depth; ++i) doc += "<a>";
+    for (int i = 0; i < depth; ++i) doc += "</a>";
+    return doc;
+  };
+  Result<Tree> at_limit = ParseXml(nested(32), options);
+  ASSERT_TRUE(at_limit.ok()) << at_limit.status().ToString();
+  EXPECT_EQ(at_limit.value().Depth(), 31);  // root at depth 0
+
+  Result<Tree> over = ParseXml(nested(33), options);
+  ASSERT_FALSE(over.ok());
+  EXPECT_NE(over.status().message().find("nesting deeper than 32"),
+            std::string::npos);
+  // Siblings do not accumulate depth: wide documents are unaffected.
+  std::string wide = "<r>";
+  for (int i = 0; i < 5000; ++i) wide += "<a/>";
+  wide += "</r>";
+  EXPECT_TRUE(ParseXml(wide, options).ok());
+}
+
+TEST(XmlFuzzTest, UnbalancedTagSoupNeverCrashes) {
+  static const char* kFragments[] = {
+      "<a>", "</a>", "<b>", "</b>", "<a/>", "<c x='1'>", "</c>",
+      "text", "<!-- c -->", "</unopened>", "<a", ">",
+  };
+  XmlOptions options;
+  options.max_depth = 64;
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    Rng rng(seed);
+    std::string doc;
+    int len = static_cast<int>(rng.Uniform(1, 400));
+    for (int i = 0; i < len; ++i) {
+      doc += kFragments[rng.Uniform(0, std::size(kFragments) - 1)];
+    }
+    Result<Tree> r = ParseXml(doc, options);  // must return, not crash
+    if (!r.ok()) {
+      ExpectOffsetError(r.status(), doc.size(), doc.substr(0, 80));
+    }
+  }
+}
+
+TEST(ParseQueryFuzzTest, TruncatedValidQueriesKeepOffsetContract) {
+  // Every strict prefix of a valid query either still parses (some
+  // prefixes are complete queries) or fails with the documented
+  // " at offset <N>" ParseError — the contract Plan::Compile and its
+  // callers key error rendering on.
+  const std::pair<Language, std::string> kQueries[] = {
+      {Language::kXPath, "/catalog/product[reviews/review]/name"},
+      {Language::kXPath, "//a[b and not(c or d)]/following-sibling::e"},
+      {Language::kCq,
+       "Q(p, r) :- Child+(p, r), Lab_product(p), Lab_review(r)."},
+      {Language::kDatalog, "Good(x) :- Lab_rating5(x).\n?- Good."},
+      {Language::kFo,
+       "exists x . exists y . (Child(x, y) and Lab_review(x))"},
+  };
+  for (const auto& [language, query] : kQueries) {
+    ASSERT_TRUE(ParseQuery(language, query).ok()) << query;
+    for (size_t len = 0; len < query.size(); ++len) {
+      std::string prefix = query.substr(0, len);
+      Result<ParsedQuery> r = ParseQuery(language, prefix);
+      if (r.ok()) continue;
+      ExpectOffsetError(r.status(), prefix.size(),
+                        LanguageName(language) + (": " + prefix));
+    }
+  }
+}
+
 TEST(ParserFuzzTest, DeepNestingDoesNotOverflow) {
-  // Qualifier nesting recurses; make sure a few thousand levels survive.
-  std::string deep = "a";
-  for (int i = 0; i < 2000; ++i) deep = "a[" + deep + "]";
-  auto r = xpath::ParseXPath(deep);
-  EXPECT_TRUE(r.ok());
+  // Qualifier nesting recurses, so the parser bounds it: a few hundred
+  // levels parse fine, a few thousand get a clean nesting error (with the
+  // offset contract) rather than a stack overflow.
+  std::string ok_deep = "a";
+  for (int i = 0; i < 200; ++i) ok_deep = "a[" + ok_deep + "]";
+  EXPECT_TRUE(xpath::ParseXPath(ok_deep).ok());
+
+  std::string too_deep = "a";
+  for (int i = 0; i < 2000; ++i) too_deep = "a[" + too_deep + "]";
+  auto r = xpath::ParseXPath(too_deep);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("nesting"), std::string::npos)
+      << r.status().message();
+  ExpectOffsetError(r.status(), too_deep.size(), "a[a[a[...]]]*2000");
 
   std::string parens(4000, '(');
-  (void)xpath::ParseXPath(parens);  // must error out, not crash
+  auto p = xpath::ParseXPath(parens);  // must error out, not crash
+  ASSERT_FALSE(p.ok());
+  ExpectOffsetError(p.status(), parens.size(), "(*4000");
 
   std::string fo_deep;
   for (int i = 0; i < 1000; ++i) fo_deep += "exists v . ";
