@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "obs/flight_recorder.h"
+#include "obs/prometheus.h"
 #include "tree/generator.h"
 #include "util/random.h"
 
@@ -262,6 +264,38 @@ void RunThroughputSweep(treeq::benchjson::Record* record) {
   std::printf("10ms-deadline completion p50:  %8.2f ms\n", deadline_p50 / 1e6);
   std::printf("cancel-to-future-ready p50:    %8.2f ms\n", cancel_p50 / 1e6);
 
+  // --- Flight recorder overhead -----------------------------------------
+  // The same 1-thread batch with the recorder off and on: the on-run pays
+  // for one QueryProfile (a few string copies + a sharded ring insert) per
+  // request. Best-of-3 per mode so scheduler noise doesn't masquerade as
+  // recorder cost.
+  treeq::obs::FlightRecorder& recorder = treeq::obs::FlightRecorder::Global();
+  recorder.Disable();
+  double recorder_off_qps = 0;
+  for (int i = 0; i < 3; ++i) {
+    recorder_off_qps = std::max(recorder_off_qps, MeasureQps(batch, 1,
+                                                             nullptr));
+  }
+  treeq::obs::FlightRecorder::Options rec_options;  // 256 deep, auto slow
+  recorder.Enable(rec_options);
+  double recorder_on_qps = 0;
+  for (int i = 0; i < 3; ++i) {
+    recorder_on_qps = std::max(recorder_on_qps, MeasureQps(batch, 1,
+                                                           nullptr));
+  }
+  const uint64_t recorder_recorded = recorder.recorded();
+  const uint64_t recorder_slow = recorder.slow_recorded();
+  recorder.Disable();
+  const double recorder_ratio = recorder_on_qps / recorder_off_qps;
+
+  std::printf("\n=== flight recorder overhead (1 thread) ===\n");
+  std::printf("recorder off: %9.0f qps\n", recorder_off_qps);
+  std::printf("recorder on:  %9.0f qps  (%.1f%% of off; %llu profiles, "
+              "%llu slow)\n",
+              recorder_on_qps, 100.0 * recorder_ratio,
+              static_cast<unsigned long long>(recorder_recorded),
+              static_cast<unsigned long long>(recorder_slow));
+
   if (record != nullptr) {
     record->SetNumber("hardware_concurrency",
                       std::thread::hardware_concurrency());
@@ -278,7 +312,42 @@ void RunThroughputSweep(treeq::benchjson::Record* record) {
     record->SetNumber("cache_hit_speedup", cold_ns / hit_ns);
     record->SetNumber("compiles_during_hit_loop",
                       static_cast<double>(compiles_during_hits));
+    record->SetNumber("recorder_off_qps", recorder_off_qps);
+    record->SetNumber("recorder_on_qps", recorder_on_qps);
+    record->SetNumber("recorder_overhead_ratio", recorder_ratio);
+    record->SetNumber("recorder_profiles_recorded",
+                      static_cast<double>(recorder_recorded));
   }
+}
+
+/// Removes `--metrics-out=<path>` from the arguments (mirrors
+/// ExtractJsonPath) and returns the path, or "" when absent.
+std::string ExtractMetricsPath(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    constexpr const char kPrefix[] = "--metrics-out=";
+    if (std::strncmp(argv[i], kPrefix, sizeof(kPrefix) - 1) == 0) {
+      path = argv[i] + sizeof(kPrefix) - 1;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+/// Writes the registry's Prometheus exposition to `path`, if requested.
+int WriteMetrics(const std::string& path) {
+  if (path.empty()) return 0;
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  treeq::obs::ExportPrometheus(os);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
 }
 
 // Micro-benchmarks for the default (google-benchmark) mode.
@@ -329,12 +398,16 @@ BENCHMARK(BM_PlanCacheHit);
 
 int main(int argc, char** argv) {
   const std::string json_path = treeq::benchjson::ExtractJsonPath(&argc, argv);
+  const std::string metrics_path = ExtractMetricsPath(&argc, argv);
   if (!json_path.empty()) {
-    return treeq::benchjson::WriteRecord(
+    const int rc = treeq::benchjson::WriteRecord(
         json_path, "bench_engine_throughput",
         [](treeq::benchjson::Record* record) { RunThroughputSweep(record); });
+    if (rc != 0) return rc;
+    return WriteMetrics(metrics_path);
   }
   RunThroughputSweep(nullptr);
+  if (const int rc = WriteMetrics(metrics_path); rc != 0) return rc;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -3,12 +3,28 @@
 // Executor pool serving a mixed-language batch. Run it with no arguments;
 // it prints each query's answer summary and the per-language serving
 // counters from the obs registry.
+//
+// Observability flags:
+//   --flight-recorder=N   keep the last N per-query profiles (and a slow
+//                         ring) in the global FlightRecorder; dumps the
+//                         table after serving
+//   --slow-ms=T           slow-query threshold in milliseconds (0 = auto:
+//                         p99 of engine.execute_ns)
+//   --metrics-out=PATH    write the full registry in Prometheus text
+//                         exposition format to PATH on exit (point a
+//                         node_exporter textfile collector at it)
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "engine/engine.h"
+#include "obs/flight_recorder.h"
+#include "obs/prometheus.h"
 #include "obs/stats.h"
 #include "tree/generator.h"
 #include "util/random.h"
@@ -19,7 +35,7 @@ using treeq::engine::Executor;
 using treeq::engine::PlanCache;
 using treeq::engine::PlanPtr;
 using treeq::engine::QueryResult;
-using treeq::engine::Request;
+using treeq::engine::SubmitOptions;
 
 namespace {
 
@@ -62,11 +78,48 @@ void DescribeResult(const QueryResult& result) {
   }
 }
 
+/// --name=value flags; anything else aborts with usage.
+struct Flags {
+  size_t flight_recorder = 0;  // 0 = off
+  double slow_ms = 0;          // 0 = auto threshold
+  std::string metrics_out;
+};
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--flight-recorder=", 0) == 0) {
+      flags->flight_recorder =
+          static_cast<size_t>(std::atoll(arg.c_str() + 18));
+    } else if (arg.rfind("--slow-ms=", 0) == 0) {
+      flags->slow_ms = std::atof(arg.c_str() + 10);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      flags->metrics_out = arg.substr(14);
+    } else {
+      std::fprintf(stderr,
+                   "usage: query_server [--flight-recorder=N] [--slow-ms=T] "
+                   "[--metrics-out=PATH]\n");
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+
   treeq::obs::StatsRegistry& stats = treeq::obs::StatsRegistry::Global();
   stats.Reset();
+  if (flags.flight_recorder > 0) {
+    treeq::obs::FlightRecorder::Options options;
+    options.capacity = flags.flight_recorder;
+    options.slow_threshold_ns =
+        static_cast<uint64_t>(flags.slow_ms * 1e6);
+    treeq::obs::FlightRecorder::Global().Enable(options);
+  }
 
   // 1. Load the corpus. Add() precomputes each document's TreeOrders, so
   //    the serving threads below share read-only data with no locking.
@@ -84,11 +137,15 @@ int main() {
   std::printf("\n\n");
 
   // 2. Compile the traffic through the plan cache: repeated query text is
-  //    parsed and classified once.
+  //    parsed and classified once. Remember per plan whether it was a hit,
+  //    so the per-query profiles attribute compile time to cold requests.
   PlanCache cache(/*capacity=*/16);
   std::vector<PlanPtr> plans;
+  std::vector<bool> cache_hits;
   for (const Incoming& incoming : kTraffic) {
-    auto plan = cache.GetOrCompile(incoming.language, incoming.text);
+    bool was_hit = false;
+    auto plan = cache.GetOrCompile(incoming.language, incoming.text,
+                                   &was_hit);
     if (!plan.ok()) {  // a real server would return this to the client
       std::printf("rejected %-7s %s\n  -> %s\n",
                   LanguageName(incoming.language), incoming.text,
@@ -96,6 +153,7 @@ int main() {
       continue;
     }
     plans.push_back(std::move(plan).value());
+    cache_hits.push_back(was_hit);
   }
   std::printf("compiled %zu requests through the cache: %llu hits, %llu "
               "misses\n\n",
@@ -103,21 +161,22 @@ int main() {
               static_cast<unsigned long long>(cache.misses()));
 
   // 3. Serve every (plan, document) pair on a worker pool.
-  std::vector<Request> batch;
+  Executor executor(Executor::Options{.num_workers = 4});
+  std::vector<std::future<treeq::Result<QueryResult>>> futures;
   for (const std::string& name : store.Names()) {
-    for (const PlanPtr& plan : plans) {
-      batch.push_back(Request{plan, store.Get(name).value()});
+    for (size_t p = 0; p < plans.size(); ++p) {
+      SubmitOptions opts;
+      opts.plan_cache_hit = cache_hits[p];
+      futures.push_back(
+          executor.Submit(plans[p], store.Get(name).value(), opts).future);
     }
   }
-  Executor executor(Executor::Options{.num_workers = 4});
-  std::vector<treeq::Result<QueryResult>> results =
-      executor.RunBatch(batch);
 
   size_t i = 0;
   for (const std::string& name : store.Names()) {
     std::printf("-- %s --\n", name.c_str());
     for (const PlanPtr& plan : plans) {
-      const treeq::Result<QueryResult>& r = results[i++];
+      treeq::Result<QueryResult> r = futures[i++].get();
       std::printf("  [%-7s] %-55.55s => ", LanguageName(plan->language()),
                   OneLine(plan->text()).c_str());
       if (r.ok()) {
@@ -137,6 +196,25 @@ int main() {
       std::printf("%-32s %llu\n", name.c_str(),
                   static_cast<unsigned long long>(value));
     }
+  }
+
+  // 5. The request-scoped views: the flight recorder's table and the
+  //    Prometheus exposition of the whole registry.
+  if (flags.flight_recorder > 0) {
+    std::printf("\n=== flight recorder ===\n");
+    std::ostringstream table;
+    treeq::obs::FlightRecorder::Global().DumpTable(table);
+    std::fputs(table.str().c_str(), stdout);
+  }
+  if (!flags.metrics_out.empty()) {
+    std::ofstream out(flags.metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", flags.metrics_out.c_str());
+      return 1;
+    }
+    treeq::obs::ExportPrometheus(out);
+    std::printf("\nwrote Prometheus metrics to %s\n",
+                flags.metrics_out.c_str());
   }
   return 0;
 }

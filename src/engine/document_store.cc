@@ -8,7 +8,8 @@ namespace treeq {
 namespace engine {
 
 Result<DocumentPtr> DocumentStore::Add(std::string_view name, Tree tree) {
-  DocumentPtr doc = MakeDocumentWithOrders(std::move(tree));
+  DocumentPtr doc = MakeDocumentWithOrders(std::move(tree),
+                                           std::string(name));
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = docs_.emplace(std::string(name), doc);
   if (!inserted) {

@@ -6,6 +6,10 @@
 
 #include "obs/obs.h"
 #include "obs/stats.h"
+#ifndef TREEQ_OBS_DISABLED
+#include "obs/flight_recorder.h"
+#include "obs/profile.h"
+#endif
 
 namespace treeq {
 namespace engine {
@@ -91,6 +95,7 @@ Submission Executor::Submit(PlanPtr plan, DocumentPtr document,
   task.plan = std::move(plan);
   task.document = std::move(document);
   task.allow_degraded = options.allow_degraded;
+  task.cache_hit = options.plan_cache_hit;
   ExecContext::Limits limits;
   if (options.timeout > std::chrono::nanoseconds::zero()) {
     limits.deadline = ExecContext::Clock::now() + options.timeout;
@@ -105,6 +110,16 @@ Submission Executor::SubmitTask(Task task, bool reject_when_full) {
   Submission submission;
   submission.context = task.context;
   submission.future = task.promise.get_future();
+#ifndef TREEQ_OBS_DISABLED
+  // Stamp the queue-wait start and the process-unique query id here, on
+  // the submitting thread, so the worker can attribute the wait and the
+  // flight recorder has a stable id even for rejected requests' siblings.
+  task.enqueue_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  task.profile_id = obs::NextQueryId();
+#endif
   TREEQ_OBS_INC("engine.exec.submitted");
   bool accepted;
   if (shutdown_.load(std::memory_order_acquire)) {
@@ -145,8 +160,40 @@ void Executor::WorkerLoop() {
   // All counter increments below (and inside the evaluators) buffer into
   // this worker's shadow and merge at request boundaries; see executor.h.
   obs::ShadowCounters shadow;
+#ifndef TREEQ_OBS_DISABLED
+  // The two evaluator counters a profile attributes per request. GetCounter
+  // registers on first use and returns a stable pointer, so hoisting the
+  // lookups out of the loop leaves the per-request snapshot as two probes
+  // of the shadow's thread-private map.
+  obs::Counter* const words_scanned =
+      obs::StatsRegistry::Global().GetCounter("axes.words_scanned");
+  obs::Counter* const label_hits =
+      obs::StatsRegistry::Global().GetCounter("labelindex.hits");
+#endif
   while (std::optional<Task> task = queue_.Pop()) {
     auto start = std::chrono::steady_clock::now();
+#ifndef TREEQ_OBS_DISABLED
+    // The shadow was flushed at the previous request boundary, but snapshot
+    // the buffered deltas anyway so the attribution stays correct even if
+    // a future change leaves residue in the buffer.
+    const bool profiling = obs::FlightRecorder::Global().enabled() &&
+                           task->plan != nullptr &&
+                           task->document != nullptr;
+    const uint64_t words_before =
+        profiling ? shadow.BufferedDelta(words_scanned) : 0;
+    const uint64_t labels_before =
+        profiling ? shadow.BufferedDelta(label_hits) : 0;
+    uint64_t queue_wait_ns = 0;
+    if (task->enqueue_ns != 0) {
+      const uint64_t dequeue_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              start.time_since_epoch())
+              .count());
+      queue_wait_ns =
+          dequeue_ns > task->enqueue_ns ? dequeue_ns - task->enqueue_ns : 0;
+      TREEQ_OBS_HISTOGRAM("engine.queue_wait_ns", queue_wait_ns);
+    }
+#endif
     Result<QueryResult> result =
         RunOne(task->plan, task->document, task->context,
                task->allow_degraded);
@@ -157,6 +204,42 @@ void Executor::WorkerLoop() {
     TREEQ_OBS_INC("engine.exec.requests");
     if (!result.ok()) TREEQ_OBS_INC("engine.exec.errors");
     TREEQ_OBS_HISTOGRAM("engine.exec.request_ns", elapsed_ns);
+    TREEQ_OBS_HISTOGRAM("engine.execute_ns", elapsed_ns);
+    if (task->context != nullptr) {
+      TREEQ_OBS_COUNT("exec.visits", task->context->visits_used());
+    }
+#ifndef TREEQ_OBS_DISABLED
+    if (profiling) {
+      const Plan& plan = *task->plan;
+      obs::QueryProfile profile;
+      profile.id = task->profile_id;
+      profile.language = LanguageName(plan.language());
+      profile.query_hash = obs::HashQueryText(plan.text());
+      profile.query = plan.text().substr(0, obs::kMaxQueryChars);
+      profile.document = task->document->name();
+      profile.engine =
+          result.ok() ? result.value().engine : plan.route_name();
+      profile.explain = plan.Explain();
+      profile.cache_hit = task->cache_hit;
+      profile.degraded = result.ok() && result.value().degraded;
+      profile.ok = result.ok();
+      profile.status = StatusCodeName(result.status().code());
+      profile.queue_wait_ns = queue_wait_ns;
+      // A cache hit reused a plan some earlier request paid to compile.
+      profile.compile_ns = task->cache_hit ? 0 : plan.compile_ns();
+      profile.execute_ns = elapsed_ns;
+      profile.visits =
+          task->context != nullptr ? task->context->visits_used() : 0;
+      profile.words_scanned =
+          shadow.BufferedDelta(words_scanned) - words_before;
+      profile.label_index_hits =
+          shadow.BufferedDelta(label_hits) - labels_before;
+      profile.estimated_visits = plan.EstimatedVisits(*task->document);
+      // Record before the flush + set_value below: once the caller sees
+      // the future ready, the profile is visible in the recorder.
+      TREEQ_OBS_FLIGHT_RECORD(std::move(profile));
+    }
+#endif
     // Merge this request's counter deltas before the caller can observe
     // the future: "future ready" implies "stats visible".
     shadow.Flush();

@@ -67,6 +67,10 @@ struct SubmitOptions {
   /// Allow the plan to fall back to the streaming evaluator when the
   /// budget classifier predicts the in-memory evaluator would blow up.
   bool allow_degraded = false;
+  /// Set by callers that resolved the plan through a PlanCache hit
+  /// (PlanCache::GetOrCompile's `was_hit` out-param). The per-query
+  /// profile then reports compile_ns = 0: a hit did not pay compilation.
+  bool plan_cache_hit = false;
 };
 
 /// Handle for one bounded submission: the result future plus the request's
@@ -129,6 +133,12 @@ class Executor {
     DocumentPtr document;
     ExecContextPtr context;  // null = unbounded
     bool allow_degraded = false;
+    /// Profile metadata stamped at Submit (obs-enabled builds; zero
+    /// otherwise): steady-clock enqueue time for the queue-wait histogram,
+    /// the process-unique query id, and the caller's plan-cache verdict.
+    uint64_t enqueue_ns = 0;
+    uint64_t profile_id = 0;
+    bool cache_hit = false;
     std::promise<Result<QueryResult>> promise;
   };
 

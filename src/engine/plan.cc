@@ -1,5 +1,6 @@
 #include "engine/plan.h"
 
+#include <chrono>
 #include <utility>
 
 #include "cq/enumerate.h"
@@ -14,9 +15,29 @@
 namespace treeq {
 namespace engine {
 
+namespace {
+
+/// The |Q| factor of the visit estimate, per language.
+uint64_t QuerySize(const ParsedQuery& query) {
+  switch (query.language) {
+    case Language::kXPath:
+      return static_cast<uint64_t>(xpath::PathSize(*query.xpath));
+    case Language::kCq:
+      return static_cast<uint64_t>(query.cq->num_vars());
+    case Language::kDatalog:
+      return query.datalog->rules().size();
+    case Language::kFo:
+      return static_cast<uint64_t>(fo::Size(*query.fo));
+  }
+  return 1;
+}
+
+}  // namespace
+
 Result<PlanPtr> Plan::Compile(Language language, std::string_view text) {
   TREEQ_OBS_SPAN("engine.plan.compile");
   TREEQ_OBS_INC("engine.plan.compiles");
+  const auto compile_start = std::chrono::steady_clock::now();
   TREEQ_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(language, text));
 
   auto plan = std::shared_ptr<Plan>(new Plan());
@@ -65,7 +86,62 @@ Result<PlanPtr> Plan::Compile(Language language, std::string_view text) {
       break;
     }
   }
+
+  // The Explain() line and compile_ns are routing metadata computed once
+  // here so per-query profiles copy a finished string instead of
+  // re-deriving the classification on the serving path.
+  switch (language) {
+    case Language::kXPath:
+      plan->explain_ = "xpath: set-at-a-time evaluator";
+      plan->explain_ += plan->stream_query_ != nullptr
+                            ? "; stream fallback available (forward rewrite)"
+                            : "; no stream fallback";
+      break;
+    case Language::kDatalog:
+      plan->explain_ = "datalog: TMNF grounding + fixpoint";
+      break;
+    case Language::kCq:
+      plan->explain_ = plan->cq_boolean_ ? "cq boolean: class "
+                                         : "cq k-ary: class ";
+      plan->explain_ += cq::SignatureClassName(plan->cq_class_);
+      if (!plan->cq_boolean_) {
+        plan->explain_ += " -> acyclic enumeration (Yannakakis)";
+      } else if (plan->cq_class_ == cq::SignatureClass::kNpHard) {
+        plan->explain_ += " -> backtracking search";
+      } else {
+        plan->explain_ += " -> X-property evaluation";
+      }
+      break;
+    case Language::kFo:
+      plan->explain_ = plan->fo_positive_
+                           ? "fo: positive sentence -> Corollary 5.2 pipeline"
+                           : "fo: sentence with negation -> naive model "
+                             "checking";
+      break;
+  }
+  plan->explain_ += "; est. visits = |Q|*(|D|+1), |Q|=" +
+                    std::to_string(QuerySize(plan->query_));
+  plan->compile_ns_ = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - compile_start)
+          .count());
   return PlanPtr(std::move(plan));
+}
+
+const char* Plan::route_name() const {
+  switch (query_.language) {
+    case Language::kXPath:
+      return "xpath.set_at_a_time";
+    case Language::kDatalog:
+      return "datalog.tmnf";
+    case Language::kCq:
+      if (!cq_boolean_) return "cq.yannakakis";
+      return cq_class_ == cq::SignatureClass::kNpHard ? "cq.backtracking"
+                                                      : "cq.x_property";
+    case Language::kFo:
+      return fo_positive_ ? "fo.corollary52" : "fo.naive";
+  }
+  return "unknown";
 }
 
 Result<QueryResult> Plan::Run(const Document& doc) const {
@@ -78,22 +154,7 @@ Result<QueryResult> Plan::Run(const Document& doc,
 }
 
 uint64_t Plan::EstimatedVisits(const Document& doc) const {
-  uint64_t query_size = 1;
-  switch (query_.language) {
-    case Language::kXPath:
-      query_size = static_cast<uint64_t>(xpath::PathSize(*query_.xpath));
-      break;
-    case Language::kCq:
-      query_size = static_cast<uint64_t>(query_.cq->num_vars());
-      break;
-    case Language::kDatalog:
-      query_size = query_.datalog->rules().size();
-      break;
-    case Language::kFo:
-      query_size = static_cast<uint64_t>(fo::Size(*query_.fo));
-      break;
-  }
-  return query_size * (static_cast<uint64_t>(doc.num_nodes()) + 1);
+  return QuerySize(query_) * (static_cast<uint64_t>(doc.num_nodes()) + 1);
 }
 
 bool Plan::PredictsBlowup(const Document& doc, const ExecContext& exec) const {
@@ -113,12 +174,14 @@ Result<QueryResult> Plan::Run(const Document& doc, const ExecContext& exec,
   TREEQ_RETURN_IF_ERROR(exec.CheckNow());
   QueryResult out;
   out.language = query_.language;
+  out.engine = route_name();
   switch (query_.language) {
     case Language::kXPath: {
       if (allow_degraded && stream_query_ != nullptr &&
           PredictsBlowup(doc, exec)) {
         TREEQ_OBS_INC("engine.degraded");
         out.degraded = true;
+        out.engine = "xpath.stream";
         TREEQ_ASSIGN_OR_RETURN(
             std::vector<NodeId> selected,
             stream::StreamMatcher::SelectFromTree(*stream_query_, doc.tree(),
@@ -142,11 +205,14 @@ Result<QueryResult> Plan::Run(const Document& doc, const ExecContext& exec,
     case Language::kCq: {
       if (cq_boolean_) {
         out.is_boolean = true;
+        bool used_tractable_path = false;
         TREEQ_ASSIGN_OR_RETURN(
             out.boolean,
             cq::EvaluateBooleanDichotomy(*query_.cq, doc,
-                                         /*used_tractable_path=*/nullptr,
-                                         exec));
+                                         &used_tractable_path, exec));
+        // Report the route the dichotomy actually took, not the prediction.
+        out.engine =
+            used_tractable_path ? "cq.x_property" : "cq.backtracking";
         return out;
       }
       TREEQ_ASSIGN_OR_RETURN(

@@ -45,6 +45,9 @@ struct QueryResult {
   /// True when the engine answered with the streaming fallback instead of
   /// the set-at-a-time evaluator (graceful degradation under a budget).
   bool degraded = false;
+  /// The evaluator that produced this answer ("xpath.set_at_a_time",
+  /// "xpath.stream", "cq.x_property", ...); a string literal, set by Run.
+  const char* engine = "";
   NodeSet nodes;                          // kXPath, kDatalog
   std::vector<std::vector<NodeId>> tuples;  // k-ary kCq
 
@@ -85,6 +88,22 @@ class Plan {
   Result<QueryResult> Run(const Document& doc, const ExecContext& exec,
                           bool allow_degraded) const;
 
+  /// Wall time Compile() spent on this plan (parse + validate + classify +
+  /// stream-rewrite). A cache-hit request did not pay it; per-query
+  /// profiles report compile_ns() for cold requests and 0 for hits.
+  uint64_t compile_ns() const { return compile_ns_; }
+
+  /// One-line compile-time classification: why Run routes this query where
+  /// it does (dichotomy class, FO positivity, stream capability, and the
+  /// |Q|*(|D|+1) visit-estimate formula). Built once at Compile(); cheap
+  /// to copy into profiles and the slow-query log.
+  const std::string& Explain() const { return explain_; }
+
+  /// The evaluator Run routes to, as decided at compile time (a string
+  /// literal). Run's result carries the same name in QueryResult::engine —
+  /// except under degradation, where the result says "xpath.stream".
+  const char* route_name() const;
+
   /// Compile-time routing facts (for tests, logs, and the bench).
   /// CQ only: the Theorem 6.8 signature class.
   cq::SignatureClass cq_class() const { return cq_class_; }
@@ -106,6 +125,8 @@ class Plan {
 
   std::string text_;
   ParsedQuery query_;
+  std::string explain_;
+  uint64_t compile_ns_ = 0;
   cq::SignatureClass cq_class_ = cq::SignatureClass::kTau1;
   bool cq_boolean_ = false;
   bool fo_positive_ = false;

@@ -10,8 +10,11 @@ namespace engine {
 PlanCache::PlanCache(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
 
 Result<PlanPtr> PlanCache::GetOrCompile(Language language,
-                                        std::string_view text) {
+                                        std::string_view text,
+                                        bool* was_hit) {
+  if (was_hit != nullptr) *was_hit = false;
   if (std::optional<PlanPtr> hit = Lookup(language, text)) {
+    if (was_hit != nullptr) *was_hit = true;
     return *std::move(hit);
   }
   misses_.fetch_add(1, std::memory_order_relaxed);

@@ -43,8 +43,12 @@ class PlanCache {
 
   /// Returns the cached plan for (language, text), compiling and inserting
   /// it on a miss. Compile failures are returned and not cached (a
-  /// mistyped query should not poison the cache).
-  Result<PlanPtr> GetOrCompile(Language language, std::string_view text);
+  /// mistyped query should not poison the cache). `was_hit`, if non-null,
+  /// reports whether this call was served from the cache — callers forward
+  /// it to SubmitOptions::plan_cache_hit so per-query profiles attribute
+  /// compile time to cold requests only.
+  Result<PlanPtr> GetOrCompile(Language language, std::string_view text,
+                               bool* was_hit = nullptr);
 
   /// Lookup without compiling; refreshes recency on a hit.
   std::optional<PlanPtr> Lookup(Language language, std::string_view text);

@@ -1,0 +1,237 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "obs/stats.h"
+
+namespace treeq {
+namespace obs {
+
+namespace {
+
+/// Query text column width in DumpTable.
+constexpr size_t kTableQueryChars = 40;
+
+std::string Truncate(const std::string& s, size_t n) {
+  std::string out = s.size() <= n ? s : s.substr(0, n - 3) + "...";
+  // Query text may span lines (datalog programs); keep table rows intact.
+  for (char& c : out) {
+    if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+  }
+  return out;
+}
+
+void TableRow(std::ostream& os, const QueryProfile& p) {
+  os << "  " << std::right << std::setw(6) << p.id << "  " << std::left
+     << std::setw(7) << p.language << " " << std::setw(18)
+     << Truncate(p.engine, 18) << " " << std::setw(10)
+     << Truncate(p.document, 10) << " " << (p.cache_hit ? "hit " : "cold")
+     << (p.degraded ? " degr" : "     ") << std::right << std::setw(9)
+     << p.queue_wait_ns / 1000 << " " << std::setw(9) << p.compile_ns / 1000
+     << " " << std::setw(9) << p.execute_ns / 1000 << " " << std::setw(10)
+     << p.visits << "  " << std::left << std::setw(18)
+     << Truncate(p.status, 18) << " "
+     << Truncate(p.query, kTableQueryChars) << "\n";
+}
+
+void TableHeader(std::ostream& os) {
+  os << "  " << std::right << std::setw(6) << "id" << "  " << std::left
+     << std::setw(7) << "lang" << " " << std::setw(18) << "engine" << " "
+     << std::setw(10) << "document" << " " << "plan     " << std::right
+     << std::setw(9) << "queue_us" << " " << std::setw(9) << "comp_us"
+     << " " << std::setw(9) << "exec_us" << " " << std::setw(10) << "visits"
+     << "  " << std::left << std::setw(18) << "status" << " query\n";
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // never destroyed
+  return *recorder;
+}
+
+FlightRecorder::FlightRecorder(const Options& options) {
+  shard_capacity_ =
+      (std::max<size_t>(1, options.capacity) + kNumShards - 1) / kNumShards;
+  slow_capacity_ = std::max<size_t>(1, options.slow_capacity);
+  configured_slow_threshold_ns_ = options.slow_threshold_ns;
+  for (Shard& shard : shards_) shard.ring.resize(shard_capacity_);
+  slow_ring_.resize(slow_capacity_);
+}
+
+void FlightRecorder::Enable(const Options& options) {
+  Disable();
+  {
+    // Take every lock so in-flight Records that passed the enabled check
+    // finish before the rings are reshaped.
+    std::array<std::unique_lock<std::mutex>, kNumShards> locks;
+    for (size_t i = 0; i < kNumShards; ++i) {
+      locks[i] = std::unique_lock<std::mutex>(shards_[i].mu);
+    }
+    std::lock_guard<std::mutex> slow_lock(slow_mu_);
+    shard_capacity_ =
+        (std::max<size_t>(1, options.capacity) + kNumShards - 1) / kNumShards;
+    slow_capacity_ = std::max<size_t>(1, options.slow_capacity);
+    configured_slow_threshold_ns_ = options.slow_threshold_ns;
+    for (Shard& shard : shards_) {
+      shard.ring.assign(shard_capacity_, QueryProfile());
+      shard.stored = 0;
+    }
+    slow_ring_.assign(slow_capacity_, QueryProfile());
+    slow_stored_ = 0;
+    seq_.store(0, std::memory_order_relaxed);
+    recorded_.store(0, std::memory_order_relaxed);
+    slow_recorded_.store(0, std::memory_order_relaxed);
+    cached_auto_threshold_ns_.store(UINT64_MAX, std::memory_order_relaxed);
+  }
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::Disable() {
+  enabled_.store(false, std::memory_order_release);
+}
+
+uint64_t FlightRecorder::AutoThresholdNs() {
+  // Recompute every kAutoThresholdStride records; the histogram snapshot
+  // is 65 relaxed loads, far off the per-record path at this stride.
+  Histogram* hist =
+      StatsRegistry::Global().GetHistogram("engine.execute_ns");
+  HistogramSnapshot snap = hist->Snapshot();
+  uint64_t threshold = UINT64_MAX;
+  if (snap.count >= kAutoThresholdMinSamples) {
+    threshold = static_cast<uint64_t>(snap.Percentile(0.99));
+  }
+  cached_auto_threshold_ns_.store(threshold, std::memory_order_relaxed);
+  return threshold;
+}
+
+uint64_t FlightRecorder::EffectiveSlowThresholdNs() const {
+  if (configured_slow_threshold_ns_ > 0) {
+    return configured_slow_threshold_ns_;
+  }
+  return cached_auto_threshold_ns_.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::Record(QueryProfile profile) {
+  if (!enabled()) return;
+  const uint64_t n = recorded_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t threshold = configured_slow_threshold_ns_;
+  if (threshold == 0) {
+    threshold = (n % kAutoThresholdStride == 0)
+                    ? AutoThresholdNs()
+                    : cached_auto_threshold_ns_.load(
+                          std::memory_order_relaxed);
+  }
+  const uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  profile.seq = seq + 1;  // 0 stays "never recorded"
+
+  if (profile.total_ns() >= threshold) {
+    slow_recorded_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    slow_ring_[slow_stored_ % slow_capacity_] = profile;
+    ++slow_stored_;
+  }
+
+  Shard& shard = shards_[seq % kNumShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.ring[(seq / kNumShards) % shard_capacity_] = std::move(profile);
+  ++shard.stored;
+}
+
+void FlightRecorder::CollectSorted(std::vector<QueryProfile>* out) const {
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const size_t valid = std::min<uint64_t>(shard.stored, shard.ring.size());
+    for (size_t i = 0; i < valid; ++i) out->push_back(shard.ring[i]);
+  }
+  std::sort(out->begin(), out->end(),
+            [](const QueryProfile& a, const QueryProfile& b) {
+              return a.seq < b.seq;
+            });
+}
+
+std::vector<QueryProfile> FlightRecorder::Recent() const {
+  std::vector<QueryProfile> out;
+  out.reserve(capacity());
+  CollectSorted(&out);
+  return out;
+}
+
+std::vector<QueryProfile> FlightRecorder::Slow() const {
+  std::vector<QueryProfile> out;
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    const size_t valid = std::min<uint64_t>(slow_stored_, slow_ring_.size());
+    out.reserve(valid);
+    for (size_t i = 0; i < valid; ++i) out.push_back(slow_ring_[i]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueryProfile& a, const QueryProfile& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  std::array<std::unique_lock<std::mutex>, kNumShards> locks;
+  for (size_t i = 0; i < kNumShards; ++i) {
+    locks[i] = std::unique_lock<std::mutex>(shards_[i].mu);
+  }
+  std::lock_guard<std::mutex> slow_lock(slow_mu_);
+  for (Shard& shard : shards_) {
+    shard.ring.assign(shard_capacity_, QueryProfile());
+    shard.stored = 0;
+  }
+  slow_ring_.assign(slow_capacity_, QueryProfile());
+  slow_stored_ = 0;
+  seq_.store(0, std::memory_order_relaxed);
+  recorded_.store(0, std::memory_order_relaxed);
+  slow_recorded_.store(0, std::memory_order_relaxed);
+}
+
+void FlightRecorder::DumpJson(std::ostream& os) const {
+  std::vector<QueryProfile> recent = Recent();
+  std::vector<QueryProfile> slow = Slow();
+  os << "{\"enabled\": " << (enabled() ? "true" : "false")
+     << ", \"capacity\": " << capacity()
+     << ", \"slow_capacity\": " << slow_capacity()
+     << ", \"slow_threshold_ns\": " << EffectiveSlowThresholdNs()
+     << ", \"recorded\": " << recorded()
+     << ", \"slow_recorded\": " << slow_recorded() << ", \"profiles\": [";
+  for (size_t i = 0; i < recent.size(); ++i) {
+    if (i > 0) os << ", ";
+    recent[i].WriteJson(os);
+  }
+  os << "], \"slow\": [";
+  for (size_t i = 0; i < slow.size(); ++i) {
+    if (i > 0) os << ", ";
+    slow[i].WriteJson(os);
+  }
+  os << "]}";
+}
+
+void FlightRecorder::DumpTable(std::ostream& os) const {
+  std::vector<QueryProfile> recent = Recent();
+  std::vector<QueryProfile> slow = Slow();
+  os << "flight recorder: " << recorded() << " recorded, " << recent.size()
+     << "/" << capacity() << " retained, " << slow_recorded()
+     << " slow (threshold ";
+  const uint64_t threshold = EffectiveSlowThresholdNs();
+  if (threshold == UINT64_MAX) {
+    os << "auto, not yet calibrated";
+  } else {
+    os << threshold << " ns";
+  }
+  os << ")\n";
+  TableHeader(os);
+  for (const QueryProfile& p : recent) TableRow(os, p);
+  if (!slow.empty()) {
+    os << "slow queries:\n";
+    TableHeader(os);
+    for (const QueryProfile& p : slow) TableRow(os, p);
+  }
+}
+
+}  // namespace obs
+}  // namespace treeq

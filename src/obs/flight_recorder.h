@@ -1,0 +1,143 @@
+#ifndef TREEQ_OBS_FLIGHT_RECORDER_H_
+#define TREEQ_OBS_FLIGHT_RECORDER_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "obs/profile.h"
+
+/// \file flight_recorder.h
+/// A fixed-capacity ring buffer of the last N QueryProfiles plus a
+/// separate threshold-gated ring of slow queries — the "what just
+/// happened" view the aggregate StatsRegistry cannot give. Memory is
+/// bounded by construction: capacity * sizeof(QueryProfile) (+ the bounded
+/// strings each profile holds), regardless of traffic.
+///
+/// Writers are the Executor's workers, so Record() is sharded: profiles
+/// round-robin across kNumShards independently-locked rings, and two
+/// workers recording concurrently almost never touch the same mutex. The
+/// slow ring is a single mutex — by definition it sees only the tail of
+/// the latency distribution.
+///
+/// The global recorder (FlightRecorder::Global(), StatsRegistry-style) is
+/// disabled by default: an atomic `enabled` flag gates recording, and the
+/// engine skips building profiles entirely while it is off, so serving
+/// pays nothing until someone turns the recorder on (query_server's
+/// --flight-recorder flag, the bench's overhead experiment, tests).
+/// Instrumentation sites use the TREEQ_OBS_FLIGHT_RECORD macro (obs.h),
+/// which compiles to an empty statement under TREEQ_OBS_DISABLED; the
+/// class itself stays linkable in disabled builds, like StatsRegistry.
+///
+/// Slow gating: a profile whose total_ns() reaches the threshold is also
+/// copied into the slow ring. An explicit threshold (slow_threshold_ns > 0)
+/// is taken as-is; in auto mode (0) the threshold is the p99 of the
+/// engine.execute_ns histogram (HistogramSnapshot::Percentile), recomputed
+/// every kAutoThresholdStride records — until that histogram has
+/// kAutoThresholdMinSamples samples, nothing is considered slow.
+
+namespace treeq {
+namespace obs {
+
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Profiles retained in the main ring. Rounded up to a multiple of
+    /// kNumShards (each shard keeps capacity / kNumShards slots).
+    size_t capacity = 256;
+    /// Profiles retained in the slow ring.
+    size_t slow_capacity = 64;
+    /// Slow gate on QueryProfile::total_ns(); 0 = auto (p99 of
+    /// engine.execute_ns).
+    uint64_t slow_threshold_ns = 0;
+  };
+
+  static constexpr size_t kNumShards = 8;
+  static constexpr uint64_t kAutoThresholdStride = 64;
+  static constexpr uint64_t kAutoThresholdMinSamples = 32;
+
+  /// The process-wide recorder used by the engine. Starts disabled.
+  static FlightRecorder& Global();
+
+  FlightRecorder() : FlightRecorder(Options()) {}
+  explicit FlightRecorder(const Options& options);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Reconfigures (dropping retained profiles) and starts recording.
+  void Enable(const Options& options);
+  /// Stops recording; retained profiles stay readable.
+  void Disable();
+  /// One relaxed atomic load — the engine's "should I build a profile at
+  /// all" check.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Stamps `profile.seq` and stores it (dropped while disabled). Also
+  /// copies it into the slow ring when total_ns() meets the threshold.
+  void Record(QueryProfile profile);
+
+  /// Retained profiles, oldest first. At most `capacity()` of them.
+  std::vector<QueryProfile> Recent() const;
+  /// Retained slow profiles, oldest first.
+  std::vector<QueryProfile> Slow() const;
+
+  size_t capacity() const { return kNumShards * shard_capacity_; }
+  size_t slow_capacity() const { return slow_capacity_; }
+
+  /// Lifetime totals (survive ring eviction, reset by Enable/Clear).
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  uint64_t slow_recorded() const {
+    return slow_recorded_.load(std::memory_order_relaxed);
+  }
+
+  /// The threshold currently gating the slow ring: the configured value,
+  /// or in auto mode the cached p99 (UINT64_MAX until enough samples).
+  uint64_t EffectiveSlowThresholdNs() const;
+
+  /// Drops every retained profile and zeroes the lifetime totals.
+  void Clear();
+
+  /// {"capacity": ..., "slow_threshold_ns": ..., "recorded": ...,
+  ///  "profiles": [...], "slow": [...]}.
+  void DumpJson(std::ostream& os) const;
+  /// Aligned human-readable table: recent profiles, then the slow ring.
+  void DumpTable(std::ostream& os) const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<QueryProfile> ring;  // ring[seq/kNumShards % shard_capacity]
+    uint64_t stored = 0;             // profiles ever stored in this shard
+  };
+
+  /// Recomputes the auto threshold from engine.execute_ns if due.
+  uint64_t AutoThresholdNs();
+  void CollectSorted(std::vector<QueryProfile>* out) const;
+
+  std::atomic<bool> enabled_{false};
+  size_t shard_capacity_ = 0;
+  size_t slow_capacity_ = 0;
+  uint64_t configured_slow_threshold_ns_ = 0;
+  std::array<Shard, kNumShards> shards_;
+
+  mutable std::mutex slow_mu_;
+  std::vector<QueryProfile> slow_ring_;
+  uint64_t slow_stored_ = 0;
+
+  std::atomic<uint64_t> seq_{0};
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> slow_recorded_{0};
+  std::atomic<uint64_t> cached_auto_threshold_ns_{UINT64_MAX};
+};
+
+}  // namespace obs
+}  // namespace treeq
+
+#endif  // TREEQ_OBS_FLIGHT_RECORDER_H_

@@ -12,6 +12,7 @@
 ///   TREEQ_OBS_GAUGE_MAX("stream.peak", depth);    // high-water mark
 ///   TREEQ_OBS_HISTOGRAM("xpath.result_size", k);  // log2 histogram
 ///   TREEQ_OBS_SPAN("datalog.eval");               // RAII timer to scope end
+///   TREEQ_OBS_FLIGHT_RECORD(std::move(profile));  // per-query profile
 ///
 /// Building with -DTREEQ_OBS_DISABLED (CMake option TREEQ_OBS_DISABLED)
 /// turns every macro into an empty statement: the argument expressions are
@@ -38,9 +39,13 @@
 #define TREEQ_OBS_SPAN(name) \
   do {                       \
   } while (0)
+#define TREEQ_OBS_FLIGHT_RECORD(profile) \
+  do {                                   \
+  } while (0)
 
 #else  // !defined(TREEQ_OBS_DISABLED)
 
+#include "obs/flight_recorder.h"
 #include "obs/span.h"
 #include "obs/stats.h"
 
@@ -80,6 +85,11 @@
 #define TREEQ_OBS_SPAN(name)                                          \
   ::treeq::obs::ScopedSpan TREEQ_OBS_CONCAT(_treeq_obs_span_,         \
                                             __LINE__)(name)
+
+#define TREEQ_OBS_FLIGHT_RECORD(profile)                       \
+  do {                                                         \
+    ::treeq::obs::FlightRecorder::Global().Record((profile));  \
+  } while (0)
 
 #endif  // TREEQ_OBS_DISABLED
 

@@ -1,0 +1,100 @@
+#include "obs/prometheus.h"
+
+#include <cstdint>
+
+namespace treeq {
+namespace obs {
+
+namespace {
+
+bool ValidNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// Inclusive upper bound of log2 bucket i: {0} for i == 0, [2^(i-1), 2^i)
+/// for 1 <= i <= 63, and everything with the top bit set for i == 64.
+uint64_t BucketUpperBound(int i) {
+  if (i >= 64) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
+}
+
+void ExportHistogram(std::ostream& os, const std::string& name,
+                     const HistogramSnapshot& h) {
+  os << "# HELP " << name << " treeq histogram " << name << "\n";
+  os << "# TYPE " << name << " histogram\n";
+  // Emit cumulative buckets up to the highest non-empty one; the +Inf
+  // bucket (== count) is always present, so empty tails cost nothing.
+  int highest = -1;
+  for (int i = 0; i < static_cast<int>(h.buckets.size()); ++i) {
+    if (h.buckets[i] > 0) highest = i;
+  }
+  uint64_t cumulative = 0;
+  for (int i = 0; i <= highest; ++i) {
+    cumulative += h.buckets[i];
+    os << name << "_bucket{le=\"" << BucketUpperBound(i)
+       << "\"} " << cumulative << "\n";
+  }
+  os << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+  os << name << "_sum " << h.sum << "\n";
+  os << name << "_count " << h.count << "\n";
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view dot_name) {
+  std::string out = "treeq_";
+  out.reserve(out.size() + dot_name.size());
+  for (char c : dot_name) {
+    out += ValidNameChar(c) ? c : '_';
+  }
+  return out;
+}
+
+std::string PrometheusEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void ExportPrometheus(const StatsRegistry& registry, std::ostream& os) {
+  for (const auto& [dot_name, value] : registry.CounterValues()) {
+    const std::string name = PrometheusName(dot_name) + "_total";
+    os << "# HELP " << name << " treeq counter "
+       << PrometheusEscape(dot_name) << "\n";
+    os << "# TYPE " << name << " counter\n";
+    os << name << " " << value << "\n";
+  }
+  for (const auto& [dot_name, value] : registry.GaugeValues()) {
+    const std::string name = PrometheusName(dot_name);
+    os << "# HELP " << name << " treeq gauge " << PrometheusEscape(dot_name)
+       << "\n";
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " " << value << "\n";
+  }
+  for (const auto& [dot_name, snapshot] : registry.HistogramValues()) {
+    ExportHistogram(os, PrometheusName(dot_name), snapshot);
+  }
+}
+
+void ExportPrometheus(std::ostream& os) {
+  ExportPrometheus(StatsRegistry::Global(), os);
+}
+
+}  // namespace obs
+}  // namespace treeq

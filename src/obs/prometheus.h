@@ -1,0 +1,46 @@
+#ifndef TREEQ_OBS_PROMETHEUS_H_
+#define TREEQ_OBS_PROMETHEUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/stats.h"
+
+/// \file prometheus.h
+/// Prometheus text-exposition (version 0.0.4) export of the full
+/// StatsRegistry. Dot-separated treeq names map to `treeq_`-prefixed
+/// underscore names ("engine.plan_cache.hits" ->
+/// "treeq_engine_plan_cache_hits_total"); counters get the conventional
+/// `_total` suffix, gauges export verbatim, and the log2 histograms render
+/// as cumulative `_bucket{le="..."}` / `_sum` / `_count` series with one
+/// `le` per power-of-two upper bound (bucket i holds values with
+/// bit_width == i, so its inclusive upper bound is 2^i - 1). Spans have no
+/// Prometheus analogue and are not exported — use DumpJson for traces.
+///
+/// Write the output to a file and point a node_exporter textfile collector
+/// (or any scraper of the exposition format) at it; query_server's
+/// --metrics-out flag does exactly that.
+
+namespace treeq {
+namespace obs {
+
+/// "engine.plan_cache.hits" -> "treeq_engine_plan_cache_hits": prefixes
+/// `treeq_` and maps every character outside [a-zA-Z0-9_] to '_'.
+std::string PrometheusName(std::string_view dot_name);
+
+/// Escapes a HELP text or label value: backslash, double-quote, and
+/// newline become \\, \", and \n.
+std::string PrometheusEscape(std::string_view s);
+
+/// Renders every counter, gauge, and histogram of `registry` in the text
+/// exposition format (# HELP / # TYPE comments included).
+void ExportPrometheus(const StatsRegistry& registry, std::ostream& os);
+
+/// ExportPrometheus over the process-wide registry.
+void ExportPrometheus(std::ostream& os);
+
+}  // namespace obs
+}  // namespace treeq
+
+#endif  // TREEQ_OBS_PROMETHEUS_H_

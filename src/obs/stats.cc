@@ -86,6 +86,36 @@ ShadowCounters* ShadowCounters::Current() {
   return internal::tls_shadow_counters;
 }
 
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const uint64_t next = cumulative + buckets[i];
+    if (static_cast<double>(next) >= target) {
+      // Bucket i holds values with bit_width == i: {0} for i == 0,
+      // [2^(i-1), 2^i - 1] otherwise. Interpolate by rank within it.
+      double lo = i == 0 ? 0.0 : static_cast<double>(uint64_t{1} << (i - 1));
+      double hi = i == 0 ? 0.0
+                  : i >= 64
+                      ? static_cast<double>(UINT64_MAX)
+                      : static_cast<double>((uint64_t{1} << i) - 1);
+      const double into =
+          (target - static_cast<double>(cumulative)) / buckets[i];
+      double v = lo + (hi - lo) * into;
+      // The recorded extremes are exact; never report outside them.
+      if (v < static_cast<double>(min)) v = static_cast<double>(min);
+      if (v > static_cast<double>(max)) v = static_cast<double>(max);
+      return v;
+    }
+    cumulative = next;
+  }
+  return static_cast<double>(max);
+}
+
 void Histogram::Record(uint64_t v) {
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
@@ -259,7 +289,10 @@ void StatsRegistry::DumpJson(std::ostream& os) const {
     first = false;
     os << "\"" << JsonEscape(name) << "\": {\"count\": " << h.count
        << ", \"sum\": " << h.sum << ", \"min\": " << h.min
-       << ", \"max\": " << h.max << ", \"mean\": " << h.mean() << "}";
+       << ", \"max\": " << h.max << ", \"mean\": " << h.mean()
+       << ", \"p50\": " << h.Percentile(0.5)
+       << ", \"p90\": " << h.Percentile(0.9)
+       << ", \"p99\": " << h.Percentile(0.99) << "}";
   }
   os << "}, \"spans\": [";
   for (size_t i = 0; i < spans.size(); ++i) {
@@ -282,7 +315,9 @@ void StatsRegistry::DumpTable(std::ostream& os) const {
   for (const auto& [name, h] : HistogramValues()) {
     os << "  " << std::left << std::setw(40) << name << " count=" << h.count
        << " sum=" << h.sum << " min=" << h.min << " max=" << h.max
-       << " mean=" << h.mean() << "\n";
+       << " mean=" << h.mean() << " p50=" << h.Percentile(0.5)
+       << " p90=" << h.Percentile(0.9) << " p99=" << h.Percentile(0.99)
+       << "\n";
   }
   os << "spans:\n";
   for (const SpanSnapshot& span : SpanTree()) TableSpan(os, span, 0);

@@ -58,6 +58,15 @@ class ShadowCounters {
 
   void Buffer(Counter* counter, uint64_t delta) { deltas_[counter] += delta; }
 
+  /// The delta buffered for `counter` since the last Flush(). The engine's
+  /// worker loop flushes at request boundaries, so sampling this right
+  /// before the flush yields the finishing request's exact share of the
+  /// counter — the per-query attribution QueryProfile records.
+  uint64_t BufferedDelta(const Counter* counter) const {
+    auto it = deltas_.find(const_cast<Counter*>(counter));
+    return it == deltas_.end() ? 0 : it->second;
+  }
+
   /// The shadow installed on the calling thread, or nullptr.
   static ShadowCounters* Current();
 
@@ -129,6 +138,13 @@ struct HistogramSnapshot {
   double mean() const {
     return count == 0 ? 0.0 : static_cast<double>(sum) / count;
   }
+
+  /// The q-quantile (q in [0, 1]) estimated by linear interpolation inside
+  /// the covering log2 bucket, clamped to the recorded [min, max]. With
+  /// power-of-two buckets the estimate is within 2x of the true quantile;
+  /// good enough for p50/p90/p99 reporting and the flight recorder's
+  /// auto slow-query threshold. Returns 0 when the histogram is empty.
+  double Percentile(double q) const;
 };
 
 /// A log2-bucketed histogram of sizes or latencies (nanoseconds).

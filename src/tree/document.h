@@ -29,11 +29,16 @@ namespace treeq {
 class Document {
  public:
   /// Takes ownership of `tree`; orders are computed on first orders() call.
-  explicit Document(Tree tree) : tree_(std::move(tree)) {}
+  /// `name` is a display label for logs and per-query profiles — the
+  /// DocumentStore passes its registration key; anonymous documents keep
+  /// the empty default.
+  explicit Document(Tree tree, std::string name = "")
+      : tree_(std::move(tree)), name_(std::move(name)) {}
 
   /// Takes ownership of both. `orders` must have been computed from `tree`.
-  Document(Tree tree, TreeOrders orders)
+  Document(Tree tree, TreeOrders orders, std::string name = "")
       : tree_(std::move(tree)),
+        name_(std::move(name)),
         orders_(std::move(orders)),
         computed_(true) {}
 
@@ -44,6 +49,9 @@ class Document {
 
   const Tree& tree() const { return tree_; }
   int num_nodes() const { return tree_.num_nodes(); }
+
+  /// Display name; empty for anonymous documents.
+  const std::string& name() const { return name_; }
 
   /// The three total orders, depth and subtree sizes (tree/orders.h).
   /// Computed at most once; concurrent first calls are safe.
@@ -82,6 +90,7 @@ class Document {
 
  private:
   Tree tree_;
+  std::string name_;
   mutable std::once_flag once_;
   mutable TreeOrders orders_;
   mutable std::atomic<bool> computed_{false};
@@ -94,15 +103,16 @@ class Document {
 using DocumentPtr = std::shared_ptr<const Document>;
 
 /// Builds a shared Document from a tree, orders computed lazily.
-inline DocumentPtr MakeDocument(Tree tree) {
-  return std::make_shared<Document>(std::move(tree));
+inline DocumentPtr MakeDocument(Tree tree, std::string name = "") {
+  return std::make_shared<Document>(std::move(tree), std::move(name));
 }
 
 /// Builds a shared Document with orders precomputed eagerly (what the
 /// DocumentStore does, so serving threads never race on first access).
-inline DocumentPtr MakeDocumentWithOrders(Tree tree) {
+inline DocumentPtr MakeDocumentWithOrders(Tree tree, std::string name = "") {
   TreeOrders orders = ComputeOrders(tree);
-  return std::make_shared<Document>(std::move(tree), std::move(orders));
+  return std::make_shared<Document>(std::move(tree), std::move(orders),
+                                    std::move(name));
 }
 
 }  // namespace treeq

@@ -20,6 +20,8 @@
 #include "datalog/parser.h"
 #include "fo/corollary52.h"
 #include "fo/parser.h"
+#include "obs/flight_recorder.h"
+#include "obs/profile.h"
 #include "obs/stats.h"
 #include "tree/generator.h"
 #include "tree/xml.h"
@@ -547,6 +549,246 @@ TEST(ExecutorTest, BoundedExecutionCountersExported) {
   EXPECT_NE(json.str().find("\"exec.deadline_exceeded\""), std::string::npos);
   EXPECT_NE(json.str().find("\"engine.rejected\""), std::string::npos);
 }
+#endif  // TREEQ_OBS_DISABLED
+
+TEST(PlanTest, ExplainAndRouteNameClassifyAtCompileTime) {
+  PlanPtr streamable = Plan::Compile(Language::kXPath, "//a//b").value();
+  EXPECT_EQ(std::string(streamable->route_name()), "xpath.set_at_a_time");
+  EXPECT_NE(streamable->Explain().find("stream fallback available"),
+            std::string::npos)
+      << streamable->Explain();
+  EXPECT_NE(streamable->Explain().find("est. visits"), std::string::npos);
+  EXPECT_GT(streamable->compile_ns(), 0u);
+
+  PlanPtr opaque = Plan::Compile(Language::kXPath, "//a[not(b)]").value();
+  EXPECT_NE(opaque->Explain().find("no stream fallback"), std::string::npos);
+
+  PlanPtr tractable =
+      Plan::Compile(Language::kCq,
+                    "Q() :- Child+(x, y), Lab_a(x), Lab_b(y).")
+          .value();
+  EXPECT_EQ(std::string(tractable->route_name()), "cq.x_property");
+  EXPECT_NE(tractable->Explain().find("X-property"), std::string::npos);
+
+  PlanPtr hard = Plan::Compile(
+      Language::kCq,
+      "Q() :- Child(x, y), Child(y, z), Child+(x, z).").value();
+  EXPECT_EQ(std::string(hard->route_name()), "cq.backtracking");
+  EXPECT_NE(hard->Explain().find("backtracking"), std::string::npos);
+
+  PlanPtr naive =
+      Plan::Compile(Language::kFo, "forall x . not Lab_z(x)").value();
+  EXPECT_EQ(std::string(naive->route_name()), "fo.naive");
+  EXPECT_NE(naive->Explain().find("negation"), std::string::npos);
+}
+
+TEST(PlanTest, RunReportsTheEngineThatAnswered) {
+  DocumentPtr doc = Catalog();
+  PlanPtr xp = Plan::Compile(Language::kXPath, "//name").value();
+  EXPECT_EQ(std::string(xp->Run(*doc)->engine), "xpath.set_at_a_time");
+  PlanPtr bool_cq =
+      Plan::Compile(Language::kCq,
+                    "Q() :- Child+(x, y), Lab_product(x), Lab_review(y).")
+          .value();
+  EXPECT_EQ(std::string(bool_cq->Run(*doc)->engine), "cq.x_property");
+  PlanPtr fo = Plan::Compile(Language::kFo, "exists x . Lab_name(x)").value();
+  EXPECT_EQ(std::string(fo->Run(*doc)->engine), "fo.corollary52");
+}
+
+TEST(PlanCacheTest, GetOrCompileReportsHits) {
+  PlanCache cache(4);
+  bool hit = true;
+  ASSERT_TRUE(cache.GetOrCompile(Language::kXPath, "//a", &hit).ok());
+  EXPECT_FALSE(hit);
+  ASSERT_TRUE(cache.GetOrCompile(Language::kXPath, "//a", &hit).ok());
+  EXPECT_TRUE(hit);
+  // A compile failure is a miss, reported as such.
+  ASSERT_FALSE(cache.GetOrCompile(Language::kXPath, "//a[", &hit).ok());
+  EXPECT_FALSE(hit);
+}
+
+#ifndef TREEQ_OBS_DISABLED
+
+/// RAII guard: enables the global flight recorder for one test, disables
+/// and clears it on exit so later tests see it off again.
+class ScopedGlobalRecorder {
+ public:
+  explicit ScopedGlobalRecorder(obs::FlightRecorder::Options options) {
+    obs::FlightRecorder::Global().Enable(options);
+  }
+  ~ScopedGlobalRecorder() {
+    obs::FlightRecorder::Global().Disable();
+    obs::FlightRecorder::Global().Clear();
+  }
+};
+
+// The acceptance scenario for per-query profiles: a cold-compiled query
+// that degrades to the streaming fallback yields a profile with all three
+// wall times, the fallback engine name, and the compile-time explanation.
+TEST(ExecutorTest, ProfileCapturesColdDegradedQuery) {
+  obs::StatsRegistry::Global().Reset();
+  const std::string query = "//a//a//a//a";
+  DocumentPtr doc = MakeDocumentWithOrders(Chain(2000, "a"), "chain2000");
+  EXPECT_EQ(doc->name(), "chain2000");
+
+  PlanCache cache(4);
+  bool hit = true;
+  PlanPtr plan = cache.GetOrCompile(Language::kXPath, query, &hit).value();
+  ASSERT_FALSE(hit);
+  PlanPtr filler = Plan::Compile(Language::kXPath, "//a").value();
+
+  Executor exec(Executor::Options{.num_workers = 1, .queue_capacity = 8});
+
+  // Meter the set-at-a-time cost before turning the recorder on.
+  SubmitOptions metered;
+  metered.visit_budget = UINT64_MAX - 1;
+  Submission probe = exec.Submit(plan, doc, metered);
+  ASSERT_TRUE(probe.future.get().ok());
+  const uint64_t cost = probe.context->visits_used();
+  ASSERT_GT(cost, 0u);
+
+  obs::FlightRecorder::Options rec_options;
+  rec_options.slow_threshold_ns = 1;  // everything lands in the slow ring
+  ScopedGlobalRecorder recorder(rec_options);
+
+  // A filler request ahead of the probe on the single worker guarantees
+  // the probed request actually waits in the queue.
+  std::future<Result<QueryResult>> filler_future = exec.Submit(filler, doc);
+  SubmitOptions opts;
+  opts.visit_budget = cost - 1;  // forces the degradation classifier
+  opts.allow_degraded = true;
+  opts.plan_cache_hit = hit;  // false: this request paid the compile
+  Submission s = exec.Submit(plan, doc, opts);
+  ASSERT_TRUE(filler_future.get().ok());
+  Result<QueryResult> r = s.future.get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->degraded);
+
+  const obs::QueryProfile* profile = nullptr;
+  std::vector<obs::QueryProfile> recent =
+      obs::FlightRecorder::Global().Recent();
+  for (const obs::QueryProfile& p : recent) {
+    if (p.engine == "xpath.stream") profile = &p;
+  }
+  ASSERT_NE(profile, nullptr) << recent.size();
+  EXPECT_GT(profile->id, 0u);
+  EXPECT_EQ(profile->language, "xpath");
+  EXPECT_EQ(profile->query, query);
+  EXPECT_EQ(profile->query_hash, obs::HashQueryText(query));
+  EXPECT_EQ(profile->document, "chain2000");
+  EXPECT_TRUE(profile->degraded);
+  EXPECT_FALSE(profile->cache_hit);
+  EXPECT_TRUE(profile->ok);
+  EXPECT_EQ(profile->status, "OK");
+  EXPECT_GT(profile->queue_wait_ns, 0u);
+  EXPECT_GT(profile->compile_ns, 0u);
+  EXPECT_GT(profile->execute_ns, 0u);
+  EXPECT_GT(profile->visits, 0u);
+  EXPECT_EQ(profile->estimated_visits, plan->EstimatedVisits(*doc));
+  EXPECT_NE(profile->explain.find("stream fallback available"),
+            std::string::npos)
+      << profile->explain;
+
+  // total_ns >= 1, so the same profile is retained as a slow query.
+  bool in_slow_ring = false;
+  for (const obs::QueryProfile& p : obs::FlightRecorder::Global().Slow()) {
+    if (p.id == profile->id) in_slow_ring = true;
+  }
+  EXPECT_TRUE(in_slow_ring);
+}
+
+TEST(ExecutorTest, ProfileReportsCacheHitsCompileFree) {
+  DocumentPtr doc = Catalog();
+  PlanCache cache(4);
+  bool hit = false;
+  PlanPtr cold = cache.GetOrCompile(Language::kXPath, "//name", &hit).value();
+  PlanPtr warm = cache.GetOrCompile(Language::kXPath, "//name", &hit).value();
+  ASSERT_TRUE(hit);
+
+  obs::FlightRecorder::Options rec_options;
+  rec_options.slow_threshold_ns = UINT64_MAX;
+  ScopedGlobalRecorder recorder(rec_options);
+
+  Executor exec(Executor::Options{.num_workers = 1, .queue_capacity = 8});
+  SubmitOptions opts;
+  opts.plan_cache_hit = hit;
+  ASSERT_TRUE(exec.Submit(warm, doc, opts).future.get().ok());
+
+  std::vector<obs::QueryProfile> recent =
+      obs::FlightRecorder::Global().Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_TRUE(recent[0].cache_hit);
+  EXPECT_EQ(recent[0].compile_ns, 0u);  // the hit did not pay compilation
+  EXPECT_GT(cold->compile_ns(), 0u);    // though the plan itself did
+  EXPECT_EQ(recent[0].engine, "xpath.set_at_a_time");
+}
+
+TEST(ExecutorTest, ProfilesAttributeWorkCounters) {
+  obs::StatsRegistry::Global().Reset();
+  DocumentPtr doc = Catalog(29, 80);
+  // A descendant step makes the evaluator scan NodeSet words; the label
+  // index serves the leading label lookups. Both must show up as this
+  // request's deltas.
+  PlanPtr plan =
+      Plan::Compile(Language::kXPath, "//product[reviews]//rating5").value();
+
+  obs::FlightRecorder::Options rec_options;
+  rec_options.slow_threshold_ns = UINT64_MAX;
+  ScopedGlobalRecorder recorder(rec_options);
+
+  Executor exec(Executor::Options{.num_workers = 1, .queue_capacity = 8});
+  SubmitOptions opts;
+  opts.visit_budget = UINT64_MAX - 1;
+  ASSERT_TRUE(exec.Submit(plan, doc, opts).future.get().ok());
+
+  std::vector<obs::QueryProfile> recent =
+      obs::FlightRecorder::Global().Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_GT(recent[0].words_scanned, 0u);
+  EXPECT_GT(recent[0].label_index_hits, 0u);
+  // The deltas never exceed the registry totals they were carved from.
+  obs::StatsRegistry& reg = obs::StatsRegistry::Global();
+  EXPECT_LE(recent[0].words_scanned,
+            reg.CounterValue("axes.words_scanned"));
+  EXPECT_LE(recent[0].label_index_hits,
+            reg.CounterValue("labelindex.hits"));
+}
+
+TEST(ExecutorTest, QueueWaitAndExecuteHistogramsRecorded) {
+  obs::StatsRegistry& reg = obs::StatsRegistry::Global();
+  reg.Reset();
+  DocumentPtr doc = Catalog(31, 20);
+  PlanPtr plan = Plan::Compile(Language::kXPath, "//name").value();
+  constexpr int kRequests = 10;
+  {
+    Executor exec(Executor::Options{.num_workers = 2, .queue_capacity = 8});
+    std::vector<Request> requests(kRequests, Request{plan, doc});
+    for (auto& r : exec.RunBatch(std::move(requests))) ASSERT_TRUE(r.ok());
+  }
+  auto histograms = reg.HistogramValues();
+  ASSERT_TRUE(histograms.count("engine.queue_wait_ns"));
+  ASSERT_TRUE(histograms.count("engine.execute_ns"));
+  EXPECT_EQ(histograms.at("engine.queue_wait_ns").count,
+            static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(histograms.at("engine.execute_ns").count,
+            static_cast<uint64_t>(kRequests));
+  EXPECT_GT(histograms.at("engine.execute_ns").sum, 0u);
+}
+
+TEST(ExecutorTest, BoundedRequestsAggregateVisitCounter) {
+  obs::StatsRegistry& reg = obs::StatsRegistry::Global();
+  reg.Reset();
+  DocumentPtr doc = Catalog(37, 20);
+  PlanPtr plan = Plan::Compile(Language::kXPath, "//name").value();
+  Executor exec(Executor::Options{.num_workers = 1, .queue_capacity = 8});
+  SubmitOptions opts;
+  opts.visit_budget = UINT64_MAX - 1;
+  Submission s = exec.Submit(plan, doc, opts);
+  ASSERT_TRUE(s.future.get().ok());
+  EXPECT_EQ(reg.CounterValue("exec.visits"), s.context->visits_used());
+  EXPECT_GT(reg.CounterValue("exec.visits"), 0u);
+}
+
 #endif  // TREEQ_OBS_DISABLED
 
 }  // namespace

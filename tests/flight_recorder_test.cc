@@ -1,0 +1,249 @@
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+#include "obs/stats.h"
+
+namespace treeq {
+namespace obs {
+namespace {
+
+QueryProfile MakeProfile(uint64_t id, uint64_t execute_ns) {
+  QueryProfile p;
+  p.id = id;
+  p.language = "xpath";
+  p.query = "//a";
+  p.document = "doc";
+  p.engine = "xpath.set_at_a_time";
+  p.execute_ns = execute_ns;
+  return p;
+}
+
+/// Explicit threshold no profile reaches: slow-ring behaviour is inert and
+/// the test never touches the global engine.execute_ns histogram.
+FlightRecorder::Options NeverSlow(size_t capacity) {
+  FlightRecorder::Options options;
+  options.capacity = capacity;
+  options.slow_capacity = 4;
+  options.slow_threshold_ns = UINT64_MAX;
+  return options;
+}
+
+// Must run before any test that enables the global recorder (gtest runs
+// tests in file order within a binary).
+TEST(FlightRecorderTest, GlobalStartsDisabledAndDropsRecords) {
+  FlightRecorder& global = FlightRecorder::Global();
+  EXPECT_FALSE(global.enabled());
+  global.Record(MakeProfile(1, 100));
+  EXPECT_EQ(global.recorded(), 0u);
+  EXPECT_TRUE(global.Recent().empty());
+}
+
+TEST(FlightRecorderTest, RecentKeepsInsertionOrder) {
+  FlightRecorder recorder;
+  recorder.Enable(NeverSlow(16));
+  for (uint64_t i = 0; i < 10; ++i) recorder.Record(MakeProfile(i, i));
+  std::vector<QueryProfile> recent = recorder.Recent();
+  ASSERT_EQ(recent.size(), 10u);
+  for (uint64_t i = 0; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i].id, i);
+    EXPECT_EQ(recent[i].seq, i + 1);  // seq 0 means "never recorded"
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+}
+
+TEST(FlightRecorderTest, CapacityEvictsOldestProfiles) {
+  FlightRecorder recorder;
+  recorder.Enable(NeverSlow(16));
+  EXPECT_EQ(recorder.capacity(), 16u);
+  for (uint64_t i = 0; i < 40; ++i) recorder.Record(MakeProfile(i, i));
+  EXPECT_EQ(recorder.recorded(), 40u);
+  std::vector<QueryProfile> recent = recorder.Recent();
+  ASSERT_EQ(recent.size(), 16u);
+  // Exactly the last 16 records survive, oldest first.
+  for (uint64_t i = 0; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i].id, 24 + i);
+  }
+}
+
+TEST(FlightRecorderTest, ExplicitThresholdGatesSlowRing) {
+  FlightRecorder recorder;
+  FlightRecorder::Options options;
+  options.capacity = 64;
+  options.slow_capacity = 2;
+  options.slow_threshold_ns = 1000;
+  recorder.Enable(options);
+  EXPECT_EQ(recorder.EffectiveSlowThresholdNs(), 1000u);
+
+  recorder.Record(MakeProfile(1, 999));   // below
+  recorder.Record(MakeProfile(2, 1000));  // at threshold: slow
+  recorder.Record(MakeProfile(3, 5000));  // slow
+  recorder.Record(MakeProfile(4, 7000));  // slow, evicts id 2
+  EXPECT_EQ(recorder.slow_recorded(), 3u);
+  std::vector<QueryProfile> slow = recorder.Slow();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].id, 3u);
+  EXPECT_EQ(slow[1].id, 4u);
+  // The main ring still holds everything.
+  EXPECT_EQ(recorder.Recent().size(), 4u);
+}
+
+TEST(FlightRecorderTest, AutoThresholdWaitsForSamples) {
+  StatsRegistry::Global().Reset();  // empty engine.execute_ns histogram
+  FlightRecorder recorder;
+  FlightRecorder::Options options;
+  options.slow_threshold_ns = 0;  // auto
+  recorder.Enable(options);
+  recorder.Record(MakeProfile(1, 1u << 30));
+  // Too few samples to calibrate: nothing is considered slow yet.
+  EXPECT_EQ(recorder.EffectiveSlowThresholdNs(), UINT64_MAX);
+  EXPECT_EQ(recorder.slow_recorded(), 0u);
+}
+
+TEST(FlightRecorderTest, AutoThresholdTracksExecuteP99) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  Histogram* h = reg.GetHistogram("engine.execute_ns");
+  // 100 fast requests and 5 slow ones: the p99 lands in the slow bucket.
+  for (int i = 0; i < 100; ++i) h->Record(1000);
+  for (int i = 0; i < 5; ++i) h->Record(1000000);
+
+  FlightRecorder recorder;
+  FlightRecorder::Options options;
+  options.slow_threshold_ns = 0;  // auto
+  recorder.Enable(options);
+  // The first Record (recorded count 0) recomputes the threshold.
+  recorder.Record(MakeProfile(1, 1000));
+  const uint64_t threshold = recorder.EffectiveSlowThresholdNs();
+  EXPECT_GT(threshold, 1000u);
+  EXPECT_LE(threshold, 1000000u);
+  EXPECT_EQ(recorder.slow_recorded(), 0u);  // the fast one was not slow
+
+  recorder.Record(MakeProfile(2, 2000000));  // well past any p99 here
+  EXPECT_EQ(recorder.slow_recorded(), 1u);
+  std::vector<QueryProfile> slow = recorder.Slow();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].id, 2u);
+}
+
+TEST(FlightRecorderTest, DisableStopsRecordingButKeepsProfiles) {
+  FlightRecorder recorder;
+  recorder.Enable(NeverSlow(16));
+  recorder.Record(MakeProfile(1, 10));
+  recorder.Disable();
+  recorder.Record(MakeProfile(2, 10));  // dropped
+  EXPECT_EQ(recorder.recorded(), 1u);
+  ASSERT_EQ(recorder.Recent().size(), 1u);
+  EXPECT_EQ(recorder.Recent()[0].id, 1u);
+  recorder.Clear();
+  EXPECT_TRUE(recorder.Recent().empty());
+  EXPECT_EQ(recorder.recorded(), 0u);
+}
+
+TEST(FlightRecorderTest, EnableReconfiguresAndClears) {
+  FlightRecorder recorder;
+  recorder.Enable(NeverSlow(16));
+  for (uint64_t i = 0; i < 10; ++i) recorder.Record(MakeProfile(i, i));
+  recorder.Enable(NeverSlow(32));  // drops retained profiles
+  EXPECT_EQ(recorder.capacity(), 32u);
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(recorder.Recent().empty());
+  EXPECT_TRUE(recorder.enabled());
+}
+
+// Run under TSan in CI: concurrent writers land on different shard locks.
+TEST(FlightRecorderTest, ConcurrentWritersLoseNothing) {
+  FlightRecorder recorder;
+  FlightRecorder::Options options;
+  options.capacity = 64;
+  options.slow_capacity = 8;
+  options.slow_threshold_ns = 1500;
+  recorder.Enable(options);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Every other profile is slow (2000 >= 1500).
+        recorder.Record(MakeProfile(static_cast<uint64_t>(t * kPerThread + i),
+                                    i % 2 == 0 ? 1000 : 2000));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(recorder.recorded(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(recorder.slow_recorded(),
+            static_cast<uint64_t>(kThreads) * kPerThread / 2);
+  std::vector<QueryProfile> recent = recorder.Recent();
+  EXPECT_EQ(recent.size(), recorder.capacity());
+  // Every retained seq is unique and within the recorded range.
+  for (size_t i = 1; i < recent.size(); ++i) {
+    EXPECT_LT(recent[i - 1].seq, recent[i].seq);
+  }
+  EXPECT_EQ(recorder.Slow().size(), recorder.slow_capacity());
+}
+
+TEST(FlightRecorderTest, DumpJsonCarriesProfileFields) {
+  FlightRecorder recorder;
+  recorder.Enable(NeverSlow(16));
+  QueryProfile p = MakeProfile(7, 1234);
+  p.query = "//a[b = \"x\"]";
+  p.document = "orders";
+  p.explain = "xpath: set-at-a-time evaluator";
+  recorder.Record(p);
+  std::ostringstream os;
+  recorder.DumpJson(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"profiles\": ["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"document\": \"orders\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\\\"x\\\""), std::string::npos) << json;  // escaped
+  EXPECT_NE(json.find("\"execute_ns\": 1234"), std::string::npos) << json;
+}
+
+TEST(FlightRecorderTest, DumpTableListsRecentAndSlow) {
+  FlightRecorder recorder;
+  FlightRecorder::Options options;
+  options.slow_threshold_ns = 1000;
+  recorder.Enable(options);
+  recorder.Record(MakeProfile(1, 10));
+  recorder.Record(MakeProfile(2, 99000));
+  std::ostringstream os;
+  recorder.DumpTable(os);
+  const std::string table = os.str();
+  EXPECT_NE(table.find("flight recorder: 2 recorded"), std::string::npos)
+      << table;
+  EXPECT_NE(table.find("slow queries:"), std::string::npos) << table;
+  EXPECT_NE(table.find("//a"), std::string::npos) << table;
+}
+
+#ifndef TREEQ_OBS_DISABLED
+
+TEST(FlightRecorderTest, MacroRecordsIntoGlobal) {
+  FlightRecorder& global = FlightRecorder::Global();
+  FlightRecorder::Options options;
+  options.slow_threshold_ns = UINT64_MAX;
+  global.Enable(options);
+  TREEQ_OBS_FLIGHT_RECORD(MakeProfile(42, 17));
+  EXPECT_EQ(global.recorded(), 1u);
+  ASSERT_EQ(global.Recent().size(), 1u);
+  EXPECT_EQ(global.Recent()[0].id, 42u);
+  global.Disable();
+  global.Clear();
+}
+
+#endif  // TREEQ_OBS_DISABLED
+
+}  // namespace
+}  // namespace obs
+}  // namespace treeq

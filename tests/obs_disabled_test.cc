@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/flight_recorder.h"
+#include "obs/profile.h"
 #include "obs/stats.h"
 
 namespace treeq {
@@ -43,7 +45,35 @@ TEST(ObsDisabledTest, MacrosAreValidSingleStatements) {
   // Must parse as one statement in unbraced control flow.
   if (true) TREEQ_OBS_INC("disabled.branch");
   for (int i = 0; i < 2; ++i) TREEQ_OBS_COUNT("disabled.loop", i);
+  if (true) TREEQ_OBS_FLIGHT_RECORD(QueryProfile{});
   EXPECT_EQ(StatsRegistry::Global().CounterValue("disabled.branch"), 0u);
+}
+
+QueryProfile MakeProfileCounting(int* evaluations) {
+  ++*evaluations;
+  return QueryProfile{};
+}
+
+TEST(ObsDisabledTest, FlightRecordMacroDiscardsItsArgument) {
+  FlightRecorder& global = FlightRecorder::Global();
+  // Even with the global recorder enabled, the disabled macro neither
+  // evaluates its argument nor records anything.
+  FlightRecorder::Options options;
+  options.slow_threshold_ns = UINT64_MAX;
+  global.Enable(options);
+  int evaluations = 0;
+  TREEQ_OBS_FLIGHT_RECORD(MakeProfileCounting(&evaluations));
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(global.recorded(), 0u);
+  global.Disable();
+  global.Clear();
+
+  // The classes themselves stay linkable and usable in disabled builds —
+  // only the macro sites vanish.
+  FlightRecorder local;
+  local.Enable(options);
+  local.Record(QueryProfile{});
+  EXPECT_EQ(local.recorded(), 1u);
 }
 
 }  // namespace

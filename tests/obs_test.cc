@@ -195,6 +195,54 @@ TEST(StatsRegistryTest, HistogramStats) {
   EXPECT_EQ(snap.buckets[10], 1u);
 }
 
+TEST(HistogramPercentileTest, EmptyAndSingleValue) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  Histogram* h = reg.GetHistogram("test.pct.single");
+  EXPECT_DOUBLE_EQ(h->Snapshot().Percentile(0.5), 0.0);  // empty
+  h->Record(100);
+  HistogramSnapshot snap = h->Snapshot();
+  // One sample: every quantile collapses to it (clamped to min == max).
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), 100.0);
+}
+
+TEST(HistogramPercentileTest, OrderedAcrossBuckets) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  Histogram* h = reg.GetHistogram("test.pct.ordered");
+  // 90 small values, 10 large ones: p50 stays in the small bucket, p99
+  // reaches the large one, and quantiles are monotone in q.
+  for (int i = 0; i < 90; ++i) h->Record(100);
+  for (int i = 0; i < 10; ++i) h->Record(100000);
+  HistogramSnapshot snap = h->Snapshot();
+  const double p50 = snap.Percentile(0.5);
+  const double p90 = snap.Percentile(0.9);
+  const double p99 = snap.Percentile(0.99);
+  EXPECT_GE(p50, 64.0);  // 100 lives in bucket [64, 127]
+  EXPECT_LE(p50, 127.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p99, 65536.0);  // 100000 lives in bucket [65536, 131071]
+  EXPECT_LE(p99, 100000.0);  // clamped to the recorded max
+  // Out-of-range q is clamped, never out of [min, max].
+  EXPECT_DOUBLE_EQ(snap.Percentile(-1.0), 100.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(2.0), 100000.0);
+}
+
+TEST(HistogramPercentileTest, DumpsIncludePercentiles) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  reg.GetHistogram("test.pct.dump")->Record(42);
+  std::ostringstream json;
+  reg.DumpJson(json);
+  EXPECT_NE(json.str().find("\"p99\": "), std::string::npos) << json.str();
+  std::ostringstream table;
+  reg.DumpTable(table);
+  EXPECT_NE(table.str().find("p99="), std::string::npos) << table.str();
+}
+
 TEST(ScopedSpanTest, NestedSpanTimingMonotonicity) {
   StatsRegistry& reg = StatsRegistry::Global();
   reg.Reset();

@@ -1,0 +1,153 @@
+#include "obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/stats.h"
+
+namespace treeq {
+namespace obs {
+namespace {
+
+/// Lines of `text`, without the trailing empty line.
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+/// The sample value of the first line starting with `prefix`, or -1.
+int64_t ValueFor(const std::vector<std::string>& lines,
+                 const std::string& prefix) {
+  for (const std::string& line : lines) {
+    if (line.rfind(prefix, 0) == 0) {
+      return std::stoll(line.substr(prefix.size()));
+    }
+  }
+  return -1;
+}
+
+TEST(PrometheusNameTest, ManglesDotsAndPrefixes) {
+  EXPECT_EQ(PrometheusName("engine.plan_cache.hits"),
+            "treeq_engine_plan_cache_hits");
+  EXPECT_EQ(PrometheusName("axes.words_scanned"),
+            "treeq_axes_words_scanned");
+  EXPECT_EQ(PrometheusName("weird-name with spaces"),
+            "treeq_weird_name_with_spaces");
+}
+
+TEST(PrometheusEscapeTest, EscapesHelpText) {
+  EXPECT_EQ(PrometheusEscape("plain"), "plain");
+  EXPECT_EQ(PrometheusEscape("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+}
+
+TEST(PrometheusExportTest, CountersGetTotalSuffixAndTypeLines) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  reg.GetCounter("test.prom.counter")->Add(123);
+  std::ostringstream os;
+  ExportPrometheus(reg, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE treeq_test_prom_counter_total counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\ntreeq_test_prom_counter_total 123\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(PrometheusExportTest, GaugesExportVerbatim) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  reg.GetGauge("test.prom.gauge")->RecordMax(17);
+  std::ostringstream os;
+  ExportPrometheus(reg, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE treeq_test_prom_gauge gauge\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\ntreeq_test_prom_gauge 17\n"), std::string::npos)
+      << text;
+}
+
+TEST(PrometheusExportTest, HistogramBucketsAreCumulative) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  Histogram* h = reg.GetHistogram("test.prom.hist");
+  // bit_width: 1 -> bucket 1 (le 1), 4 -> bucket 3 (le 7), 1000 -> bucket
+  // 10 (le 1023).
+  for (uint64_t v : {1u, 4u, 4u, 1000u}) h->Record(v);
+  std::ostringstream os;
+  ExportPrometheus(reg, os);
+  const std::vector<std::string> lines = SplitLines(os.str());
+  const std::string base = "treeq_test_prom_hist";
+
+  EXPECT_EQ(ValueFor(lines, base + "_bucket{le=\"1\"} "), 1);
+  EXPECT_EQ(ValueFor(lines, base + "_bucket{le=\"7\"} "), 3);
+  EXPECT_EQ(ValueFor(lines, base + "_bucket{le=\"1023\"} "), 4);
+  EXPECT_EQ(ValueFor(lines, base + "_bucket{le=\"+Inf\"} "), 4);
+  EXPECT_EQ(ValueFor(lines, base + "_sum "), 1009);
+  EXPECT_EQ(ValueFor(lines, base + "_count "), 4);
+
+  // Bucket counts never decrease, and +Inf equals _count.
+  int64_t prev = 0;
+  for (const std::string& line : lines) {
+    if (line.rfind(base + "_bucket{le=\"", 0) != 0) continue;
+    const int64_t v = std::stoll(line.substr(line.find("} ") + 2));
+    EXPECT_GE(v, prev) << line;
+    prev = v;
+  }
+  EXPECT_EQ(prev, 4);
+}
+
+TEST(PrometheusExportTest, EveryLineIsCommentOrSample) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  reg.GetCounter("test.prom.a")->Add(1);
+  reg.GetGauge("test.prom.b")->RecordMax(2);
+  reg.GetHistogram("test.prom.c")->Record(3);
+  std::ostringstream os;
+  ExportPrometheus(reg, os);
+  for (const std::string& line : SplitLines(os.str())) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+      continue;
+    }
+    // Sample lines: a valid metric name, optional {labels}, then a value.
+    EXPECT_EQ(line.rfind("treeq_", 0), 0u) << line;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name = line.substr(0, space);
+    for (char c : name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_' || c == '{' || c == '}' || c == '=' || c == '"' ||
+                  c == '+' || c == 'I' || c == 'n' || c == 'f')
+          << line;
+    }
+    EXPECT_NO_THROW(std::stoll(line.substr(space + 1))) << line;
+  }
+}
+
+TEST(PrometheusExportTest, GlobalOverloadUsesGlobalRegistry) {
+  StatsRegistry& reg = StatsRegistry::Global();
+  reg.Reset();
+  reg.GetCounter("test.prom.global")->Add(7);
+  std::ostringstream os;
+  ExportPrometheus(os);
+  EXPECT_NE(os.str().find("treeq_test_prom_global_total 7\n"),
+            std::string::npos)
+      << os.str();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace treeq

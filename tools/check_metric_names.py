@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Gate TREEQ_OBS_* metric names against the documented taxonomy.
+
+Scans src/ for every name passed to a TREEQ_OBS_{INC,COUNT,GAUGE_MAX,
+GAUGE_SET,HISTOGRAM,SPAN} macro and checks that
+
+  1. the name is well-formed: lowercase dot-separated components,
+     `namespace.rest` with at least one dot (`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`);
+  2. the name lives under a namespace documented in DESIGN.md's counter
+     taxonomy table (the `` `ns.*` `` first column).
+
+Run from anywhere:  python3 tools/check_metric_names.py
+Exit code 0 = clean, 1 = violations (each printed with file:line).
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+DESIGN = os.path.join(REPO, "DESIGN.md")
+
+MACRO_RE = re.compile(
+    r'TREEQ_OBS_(?:INC|COUNT|GAUGE_MAX|GAUGE_SET|HISTOGRAM|SPAN)\s*\(\s*"([^"]+)"'
+)
+NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+# A taxonomy row's first column: | `xpath.naive.*` | ...
+TAXONOMY_ROW_RE = re.compile(r"^\|\s*`([a-z][a-z0-9_.]*)\.\*`\s*\|")
+
+
+def documented_namespaces():
+    namespaces = set()
+    with open(DESIGN, encoding="utf-8") as f:
+        for line in f:
+            m = TAXONOMY_ROW_RE.match(line.strip())
+            if m:
+                namespaces.add(m.group(1))
+    return namespaces
+
+
+def find_metric_uses():
+    """Yields (path, line_number, metric_name) for every macro site."""
+    for root, _dirs, files in os.walk(SRC):
+        for name in sorted(files):
+            if not name.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(root, name)
+            with open(path, encoding="utf-8") as f:
+                for lineno, line in enumerate(f, start=1):
+                    for m in MACRO_RE.finditer(line):
+                        yield path, lineno, m.group(1)
+
+
+def in_namespace(metric, namespaces):
+    """True when some documented namespace is a dot-prefix of `metric`."""
+    parts = metric.split(".")
+    return any(".".join(parts[:i]) in namespaces
+               for i in range(1, len(parts)))
+
+
+def main():
+    namespaces = documented_namespaces()
+    if not namespaces:
+        print(f"error: no taxonomy rows found in {DESIGN}", file=sys.stderr)
+        return 1
+
+    errors = []
+    seen = set()
+    for path, lineno, metric in find_metric_uses():
+        rel = os.path.relpath(path, REPO)
+        seen.add(metric)
+        if not NAME_RE.match(metric):
+            errors.append(
+                f"{rel}:{lineno}: malformed metric name {metric!r} "
+                "(want lowercase dot-separated, e.g. engine.exec.requests)")
+        elif not in_namespace(metric, namespaces):
+            errors.append(
+                f"{rel}:{lineno}: metric {metric!r} is outside every "
+                "documented namespace — add a row to DESIGN.md's taxonomy "
+                f"table (documented: {', '.join(sorted(namespaces))})")
+
+    for e in errors:
+        print(e)
+    print(f"checked {len(seen)} distinct metric names against "
+          f"{len(namespaces)} documented namespaces: "
+          f"{'FAIL' if errors else 'OK'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
