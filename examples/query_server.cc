@@ -69,12 +69,12 @@ std::string OneLine(std::string text) {
 }
 
 void DescribeResult(const QueryResult& result) {
-  if (result.is_boolean) {
-    std::printf("%s", result.boolean ? "true" : "false");
-  } else if (!result.tuples.empty()) {
-    std::printf("%zu tuples", result.tuples.size());
+  if (result.is_boolean()) {
+    std::printf("%s", result.boolean() ? "true" : "false");
+  } else if (result.is_tuples()) {
+    std::printf("%zu tuples", result.tuples().size());
   } else {
-    std::printf("%d nodes", result.nodes.size());
+    std::printf("%d nodes", result.nodes().size());
   }
 }
 

@@ -1,0 +1,171 @@
+#include "cq/par_twig.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace treeq {
+namespace cq {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t Share(uint64_t remaining, int k) {
+  if (remaining == UINT64_MAX) return UINT64_MAX;
+  const uint64_t share = remaining / static_cast<uint64_t>(k);
+  return share > 0 ? share : 1;
+}
+
+/// The sub-stream of `stream` whose pre ranks lie in [begin_pre, end_pre).
+std::vector<JoinItem> Window(const std::vector<JoinItem>& stream,
+                             int begin_pre, int end_pre) {
+  const auto lo = std::lower_bound(
+      stream.begin(), stream.end(), begin_pre,
+      [](const JoinItem& item, int pre) { return item.pre < pre; });
+  const auto hi = std::lower_bound(
+      lo, stream.end(), end_pre,
+      [](const JoinItem& item, int pre) { return item.pre < pre; });
+  return std::vector<JoinItem>(lo, hi);
+}
+
+}  // namespace
+
+Result<TupleSet> ParTwigStackJoin(const TwigPattern& pattern,
+                                  const Document& doc,
+                                  const par::ParOptions& options,
+                                  const ExecContext& exec, TwigStats* stats,
+                                  par::ParStats* par_stats) {
+  TREEQ_RETURN_IF_ERROR(pattern.Validate());
+  const Tree& tree = doc.tree();
+  const LabelIndex& index = doc.label_index();
+
+  // Per-pattern-node streams from the document's cached label index.
+  std::vector<const std::vector<JoinItem>*> streams;
+  streams.reserve(pattern.nodes.size());
+  for (const TwigPatternNode& node : pattern.nodes) {
+    LabelId label = tree.label_table().Lookup(node.label);
+    streams.push_back(&index.Items(label));
+  }
+  const std::vector<JoinItem>& roots = *streams[0];
+
+  const int k = options.parallelism;
+  if (k < 2 || options.runner == nullptr ||
+      roots.size() < static_cast<size_t>(options.min_context)) {
+    return TwigStackJoinStreams(pattern, streams, stats, exec);
+  }
+
+  // Contiguous root-stream chunks: every match is owned by exactly one
+  // chunk (the one holding its root assignment), so chunk tuple sets are
+  // disjoint and their union is the serial match set.
+  const size_t chunk =
+      (roots.size() + static_cast<size_t>(k) - 1) / static_cast<size_t>(k);
+  struct Slot {
+    size_t begin = 0;
+    size_t end = 0;
+    std::shared_ptr<ExecContext> child;
+    std::vector<std::vector<JoinItem>> windows;  // non-root sub-streams
+    TwigStats stats;
+    Result<TupleSet> result{TupleSet{}};
+  };
+  std::vector<Slot> slots;
+  for (size_t begin = 0; begin < roots.size(); begin += chunk) {
+    Slot slot;
+    slot.begin = begin;
+    slot.end = std::min(roots.size(), begin + chunk);
+    slots.push_back(std::move(slot));
+  }
+  const int degree = static_cast<int>(slots.size());
+  TREEQ_OBS_INC("par.forks");
+  TREEQ_OBS_COUNT("par.tasks", static_cast<uint64_t>(degree));
+  const uint64_t visit_share = Share(exec.RemainingVisits(), degree);
+  const uint64_t memory_share = Share(exec.RemainingMemory(), degree);
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(slots.size());
+  for (Slot& slot : slots) {
+    slot.child = exec.Fork(visit_share, memory_share);
+    tasks.push_back([&pattern, &streams, &roots, &slot] {
+      // Matched non-root elements sit inside a chunk root's subtree, so
+      // [first root's pre, max subtree end over the chunk's roots) covers
+      // every stream item any chunk match can use.
+      const int win_begin = roots[slot.begin].pre;
+      int win_end = 0;
+      for (size_t i = slot.begin; i < slot.end; ++i) {
+        win_end = std::max(win_end, roots[i].end);
+      }
+      slot.windows.reserve(streams.size());
+      slot.windows.emplace_back(
+          roots.begin() + static_cast<ptrdiff_t>(slot.begin),
+          roots.begin() + static_cast<ptrdiff_t>(slot.end));
+      uint64_t total = slot.windows.back().size();
+      for (size_t i = 1; i < streams.size(); ++i) {
+        slot.windows.push_back(Window(*streams[i], win_begin, win_end));
+        total += slot.windows.back().size();
+      }
+      Status charge = slot.child->Charge(1 + total);
+      if (!charge.ok()) {
+        slot.result = charge;
+        return;
+      }
+      std::vector<const std::vector<JoinItem>*> chunk_streams;
+      chunk_streams.reserve(slot.windows.size());
+      for (const std::vector<JoinItem>& w : slot.windows) {
+        chunk_streams.push_back(&w);
+      }
+      slot.result = TwigStackJoinStreams(pattern, chunk_streams, &slot.stats,
+                                         *slot.child);
+    });
+  }
+
+  const uint64_t fork_start = NowNs();
+  options.runner->RunAll(std::move(tasks));
+  const uint64_t merge_start = NowNs();
+
+  TupleSet out;
+  Status first_error;
+  for (Slot& slot : slots) {
+    exec.AbsorbChildUsage(*slot.child);
+    if (stats != nullptr) {
+      stats->intermediate_results += slot.stats.intermediate_results;
+      stats->path_solutions += slot.stats.path_solutions;
+    }
+    if (first_error.ok() && !slot.result.ok()) {
+      first_error = slot.result.status();
+    }
+    if (slot.result.ok()) {
+      TupleSet& tuples = slot.result.value();
+      out.insert(out.end(), std::make_move_iterator(tuples.begin()),
+                 std::make_move_iterator(tuples.end()));
+    }
+  }
+  // Chunk results are disjoint (distinct root assignments); one final
+  // canonicalization reproduces the serial canonical tuple order.
+  CanonicalizeTuples(&out);
+  const uint64_t merge_end = NowNs();
+  if (par_stats != nullptr) {
+    par::ParStats local;
+    local.partitions = degree;
+    local.parallel_ns = merge_start - fork_start;
+    local.merge_ns = merge_end - merge_start;
+    par_stats->Accumulate(local);
+  }
+  TREEQ_OBS_HISTOGRAM("par.parallel_ns", merge_start - fork_start);
+  TREEQ_OBS_HISTOGRAM("par.merge_ns", merge_end - merge_start);
+  if (!first_error.ok()) return first_error;
+  TREEQ_RETURN_IF_ERROR(exec.CheckNow());
+  TREEQ_OBS_COUNT("cq.twig.output_tuples", out.size());
+  return out;
+}
+
+}  // namespace cq
+}  // namespace treeq

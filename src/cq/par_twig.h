@@ -1,0 +1,48 @@
+#ifndef TREEQ_CQ_PAR_TWIG_H_
+#define TREEQ_CQ_PAR_TWIG_H_
+
+#include "cq/twig_join.h"
+#include "tree/document.h"
+#include "util/exec_context.h"
+#include "util/status.h"
+#include "util/task_runner.h"
+
+/// \file par_twig.h
+/// Partition-parallel TwigStack (treeq::par): one TwigStack instance per
+/// chunk of the *root* pattern node's label stream, run concurrently.
+///
+/// Every match assigns the root pattern node an element of the root
+/// stream, so chunking that stream into K contiguous document-order ranges
+/// partitions the match set disjointly by root. A chunk's matches live
+/// entirely inside its roots' subtrees: all matched elements have pre in
+/// [root.pre, root.end), so each non-root stream can be windowed to
+/// [first chunk root's pre, max chunk root's subtree end) — a binary
+/// search per stream, no copying of out-of-window items. Running the
+/// unchanged serial TwigStack per chunk and concatenating (then
+/// re-canonicalizing once) yields exactly the serial tuple set.
+///
+/// Budgets and cancellation follow the par kernel contract: each chunk
+/// runs under a forked ExecContext share, parent cancel fans out, and the
+/// parent absorbs child spend at the join. TwigStack charges per stream
+/// advance / stack push, so cancellation stops chunk tasks mid-stream.
+
+namespace treeq {
+namespace cq {
+
+/// All matches of `pattern` against `doc`, equal as a canonical tuple set
+/// to TwigStackJoin(pattern, doc, ...). Falls back to the serial join when
+/// `options.parallelism` < 2, no runner is given, or the root stream is
+/// smaller than `options.min_context`. `stats` sums child work counters;
+/// `par_stats` accumulates fork attribution.
+Result<TupleSet> ParTwigStackJoin(const TwigPattern& pattern,
+                                  const Document& doc,
+                                  const par::ParOptions& options,
+                                  const ExecContext& exec =
+                                      ExecContext::Unbounded(),
+                                  TwigStats* stats = nullptr,
+                                  par::ParStats* par_stats = nullptr);
+
+}  // namespace cq
+}  // namespace treeq
+
+#endif  // TREEQ_CQ_PAR_TWIG_H_

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <utility>
 
 #include "obs/obs.h"
@@ -37,7 +40,8 @@ void CountRequestLanguage(Language language) {
 
 Result<QueryResult> RunOne(const PlanPtr& plan, const DocumentPtr& doc,
                            const ExecContextPtr& context,
-                           bool allow_degraded) {
+                           bool allow_degraded, int parallelism,
+                           par::TaskRunner* runner) {
   if (plan == nullptr) {
     return Status::InvalidArgument("null plan submitted");
   }
@@ -45,8 +49,15 @@ Result<QueryResult> RunOne(const PlanPtr& plan, const DocumentPtr& doc,
     return Status::InvalidArgument("null document submitted");
   }
   CountRequestLanguage(plan->language());
-  if (context == nullptr) return plan->Run(*doc);
-  return plan->Run(*doc, *context, allow_degraded);
+  ExecuteOptions options;
+  options.allow_degraded = allow_degraded;
+  if (parallelism >= 2) {
+    options.parallelism = parallelism;
+    options.runner = runner;
+  }
+  const ExecContext& exec =
+      context != nullptr ? *context : ExecContext::Unbounded();
+  return plan->Execute(*doc, exec, options);
 }
 
 }  // namespace
@@ -81,20 +92,15 @@ void Executor::Shutdown() {
   // Close() has had its promise fulfilled.
 }
 
-std::future<Result<QueryResult>> Executor::Submit(PlanPtr plan,
-                                                  DocumentPtr document) {
-  Task task;
-  task.plan = std::move(plan);
-  task.document = std::move(document);
-  return SubmitTask(std::move(task), /*reject_when_full=*/false).future;
-}
+par::TaskRunner& Executor::task_runner() { return group_runner_; }
 
-Submission Executor::Submit(PlanPtr plan, DocumentPtr document,
-                            const SubmitOptions& options) {
+Submission Executor::Submit(QueryRequest request) {
+  const SubmitOptions& options = request.options;
   Task task;
-  task.plan = std::move(plan);
-  task.document = std::move(document);
+  task.plan = std::move(request.plan);
+  task.document = std::move(request.document);
   task.allow_degraded = options.allow_degraded;
+  task.parallelism = options.parallelism;
   task.cache_hit = options.plan_cache_hit;
   ExecContext::Limits limits;
   if (options.timeout > std::chrono::nanoseconds::zero()) {
@@ -104,6 +110,25 @@ Submission Executor::Submit(PlanPtr plan, DocumentPtr document,
   limits.memory_budget = options.memory_budget;
   task.context = std::make_shared<ExecContext>(limits);
   return SubmitTask(std::move(task), options.reject_when_full);
+}
+
+std::future<Result<QueryResult>> Executor::Submit(PlanPtr plan,
+                                                  DocumentPtr document) {
+  // Unbounded fast path kept distinct from Submit(QueryRequest): no
+  // ExecContext is allocated, matching the historic behavior exactly.
+  Task task;
+  task.plan = std::move(plan);
+  task.document = std::move(document);
+  return SubmitTask(std::move(task), /*reject_when_full=*/false).future;
+}
+
+Submission Executor::Submit(PlanPtr plan, DocumentPtr document,
+                            const SubmitOptions& options) {
+  QueryRequest request;
+  request.plan = std::move(plan);
+  request.document = std::move(document);
+  request.options = options;
+  return Submit(std::move(request));
 }
 
 Submission Executor::SubmitTask(Task task, bool reject_when_full) {
@@ -121,13 +146,15 @@ Submission Executor::SubmitTask(Task task, bool reject_when_full) {
   task.profile_id = obs::NextQueryId();
 #endif
   TREEQ_OBS_INC("engine.exec.submitted");
+  WorkItem item;
+  item.request.emplace(std::move(task));
   bool accepted;
   if (shutdown_.load(std::memory_order_acquire)) {
     accepted = false;
   } else if (reject_when_full) {
-    accepted = queue_.TryPush(std::move(task));
+    accepted = queue_.TryPush(std::move(item));
   } else {
-    accepted = queue_.Push(std::move(task));
+    accepted = queue_.Push(std::move(item));
   }
   if (!accepted) {
     // The task (with the promise) was consumed either way; rebuild a
@@ -170,7 +197,17 @@ void Executor::WorkerLoop() {
   obs::Counter* const label_hits =
       obs::StatsRegistry::Global().GetCounter("labelindex.hits");
 #endif
-  while (std::optional<Task> task = queue_.Pop()) {
+  while (std::optional<WorkItem> item = queue_.Pop()) {
+    if (item->is_child()) {
+      // A forked child task of another request's fork-join group
+      // (RunChildren). The child flushes the shadow itself before
+      // signaling its group, so the forking request's "future ready
+      // implies stats visible" contract holds even when children run on
+      // foreign workers.
+      item->child();
+      continue;
+    }
+    std::optional<Task>& task = item->request;
     auto start = std::chrono::steady_clock::now();
 #ifndef TREEQ_OBS_DISABLED
     // The shadow was flushed at the previous request boundary, but snapshot
@@ -196,7 +233,7 @@ void Executor::WorkerLoop() {
 #endif
     Result<QueryResult> result =
         RunOne(task->plan, task->document, task->context,
-               task->allow_degraded);
+               task->allow_degraded, task->parallelism, &group_runner_);
     auto elapsed_ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start)
@@ -222,6 +259,11 @@ void Executor::WorkerLoop() {
       profile.explain = plan.Explain();
       profile.cache_hit = task->cache_hit;
       profile.degraded = result.ok() && result.value().degraded;
+      if (result.ok()) {
+        profile.partitions = result.value().partitions;
+        profile.parallel_ns = result.value().parallel_ns;
+        profile.merge_ns = result.value().merge_ns;
+      }
       profile.ok = result.ok();
       profile.status = StatusCodeName(result.status().code());
       profile.queue_wait_ns = queue_wait_ns;
@@ -244,6 +286,64 @@ void Executor::WorkerLoop() {
     // the future: "future ready" implies "stats visible".
     shadow.Flush();
     task->promise.set_value(std::move(result));
+  }
+}
+
+void Executor::RunChildren(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  struct Group {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t pending = 0;
+  };
+  auto group = std::make_shared<Group>();
+  group->pending = tasks.size();
+  auto wrap = [&group](std::function<void()> task) {
+    return [group, task = std::move(task)] {
+      task();
+      // Make the child's buffered counter deltas globally visible before
+      // the forking request can observe completion, so the request-level
+      // "future ready implies stats visible" contract survives children
+      // running on foreign workers.
+      if (obs::ShadowCounters* shadow = obs::ShadowCounters::Current()) {
+        shadow->Flush();
+      }
+      std::lock_guard<std::mutex> lock(group->mu);
+      if (--group->pending == 0) group->cv.notify_all();
+    };
+  };
+  // Queue all but the first child AHEAD of pending requests (children are
+  // bounded by the fork degree, so jumping the capacity bound is safe) and
+  // run the first on this thread. A front-push only fails when the queue
+  // closed mid-shutdown; then the child runs inline — completion never
+  // depends on the pool.
+  std::function<void()> first = wrap(std::move(tasks[0]));
+  for (size_t i = 1; i < tasks.size(); ++i) {
+    std::function<void()> child = wrap(std::move(tasks[i]));
+    WorkItem item;
+    item.child = child;
+    if (!queue_.TryPushFront(std::move(item))) child();
+  }
+  first();
+  // Help-run queued children — ours or another group's, both keep the
+  // system draining — until this group completes. The front-children
+  // invariant makes the blocking step safe: TryPopIf failing means no
+  // child tasks are queued anywhere, so every child of this group is
+  // already running on some worker, and that worker will signal the cv.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(group->mu);
+      if (group->pending == 0) return;
+    }
+    std::optional<WorkItem> item =
+        queue_.TryPopIf([](const WorkItem& w) { return w.is_child(); });
+    if (item.has_value()) {
+      item->child();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(group->mu);
+    group->cv.wait(lock, [&group] { return group->pending == 0; });
+    return;
   }
 }
 

@@ -4,16 +4,20 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "engine/mpmc_queue.h"
 #include "engine/plan.h"
+#include "engine/task_group.h"
 #include "tree/document.h"
 #include "util/exec_context.h"
 #include "util/status.h"
+#include "util/task_runner.h"
 
 /// \file executor.h
 /// A fixed-size worker pool that evaluates (plan, document) requests
@@ -71,6 +75,22 @@ struct SubmitOptions {
   /// (PlanCache::GetOrCompile's `was_hit` out-param). The per-query
   /// profile then reports compile_ns = 0: a hit did not pay compilation.
   bool plan_cache_hit = false;
+  /// Intra-query parallelism degree for this request: 0 (the default)
+  /// evaluates serially — bit-identical to an unparallel executor — and
+  /// >= 2 lets an XPath plan big enough for the classifier fork its axis
+  /// steps across that many subtree partitions, run as child tasks on
+  /// this same worker pool (engine/task_group.h).
+  int parallelism = 0;
+};
+
+/// One Submit call as a value: the plan, the document, and the per-request
+/// options, carried together instead of as a growing positional argument
+/// list. New call sites should build one of these and use
+/// Submit(QueryRequest); the positional overloads remain as wrappers.
+struct QueryRequest {
+  PlanPtr plan;
+  DocumentPtr document;
+  SubmitOptions options;
 };
 
 /// Handle for one bounded submission: the result future plus the request's
@@ -103,15 +123,22 @@ class Executor {
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
-  /// Enqueues one request. The future carries the evaluation result, or an
-  /// InvalidArgument status for a null plan/document. Blocks while the
-  /// queue is full; returns an already-failed Unavailable future after
-  /// Shutdown() (or destruction) began.
+  /// The front door: enqueues one request. Attaches an ExecContext built
+  /// from `request.options` and returns it alongside the future so the
+  /// caller can Cancel(); respects `options.reject_when_full` for
+  /// admission control and `options.parallelism` for intra-query
+  /// parallelism. The future carries the evaluation result, or an
+  /// InvalidArgument status for a null plan/document; after Shutdown() it
+  /// is an already-failed Unavailable future.
+  Submission Submit(QueryRequest request);
+
+  /// Deprecated positional wrapper over Submit(QueryRequest): unbounded,
+  /// serial, blocks while the queue is full. Prefer the QueryRequest
+  /// overload.
   std::future<Result<QueryResult>> Submit(PlanPtr plan, DocumentPtr document);
 
-  /// Bounded submission: attaches an ExecContext built from `options` and
-  /// returns it alongside the future so the caller can Cancel(). Respects
-  /// `options.reject_when_full` for admission control.
+  /// Deprecated positional wrapper over Submit(QueryRequest). Prefer the
+  /// QueryRequest overload.
   Submission Submit(PlanPtr plan, DocumentPtr document,
                     const SubmitOptions& options);
 
@@ -127,12 +154,20 @@ class Executor {
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
+  /// The fork-join runner that schedules par:: child tasks on this pool
+  /// (engine/task_group.h). Exposed so callers driving Plan::Execute
+  /// directly can still borrow the executor's workers for parallelism.
+  par::TaskRunner& task_runner();
+
  private:
+  friend class TaskGroupRunner;
+
   struct Task {
     PlanPtr plan;
     DocumentPtr document;
     ExecContextPtr context;  // null = unbounded
     bool allow_degraded = false;
+    int parallelism = 0;
     /// Profile metadata stamped at Submit (obs-enabled builds; zero
     /// otherwise): steady-clock enqueue time for the queue-wait histogram,
     /// the process-unique query id, and the caller's plan-cache verdict.
@@ -142,16 +177,41 @@ class Executor {
     std::promise<Result<QueryResult>> promise;
   };
 
+  /// One queue entry: a client request OR a forked child task of an
+  /// in-flight request (fork-join, engine/task_group.h). Children are
+  /// pushed to the queue front and requests to the back, so children are
+  /// always ahead of requests — the invariant RunChildren's help loop
+  /// relies on.
+  struct WorkItem {
+    std::optional<Task> request;
+    std::function<void()> child;
+    bool is_child() const { return !request.has_value(); }
+  };
+
   Submission SubmitTask(Task task, bool reject_when_full);
   void WorkerLoop();
 
-  BoundedQueue<Task> queue_;
+  /// Fork-join: runs every closure exactly once — on this pool's workers,
+  /// on the calling thread, or both — and returns when all are done.
+  /// Callable from worker threads (a worker blocked on its children
+  /// help-runs queued child tasks instead of sleeping, so a pool of any
+  /// size makes progress) and from external threads. Child tasks must not
+  /// fork again.
+  void RunChildren(std::vector<std::function<void()>> tasks);
+
+  BoundedQueue<WorkItem> queue_;
+  TaskGroupRunner group_runner_{this};
   std::atomic<bool> shutdown_{false};
   std::mutex join_mu_;
   std::vector<std::thread> workers_;
 };
 
 }  // namespace engine
+
+/// The unified request type, re-exported at the top level to pair with
+/// treeq::QueryResult (engine/query.h).
+using engine::QueryRequest;
+
 }  // namespace treeq
 
 #endif  // TREEQ_ENGINE_EXECUTOR_H_

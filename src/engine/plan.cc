@@ -145,12 +145,19 @@ const char* Plan::route_name() const {
 }
 
 Result<QueryResult> Plan::Run(const Document& doc) const {
-  return Run(doc, ExecContext::Unbounded(), /*allow_degraded=*/false);
+  return Execute(doc, ExecContext::Unbounded(), ExecuteOptions{});
 }
 
 Result<QueryResult> Plan::Run(const Document& doc,
                               const ExecContext& exec) const {
-  return Run(doc, exec, /*allow_degraded=*/false);
+  return Execute(doc, exec, ExecuteOptions{});
+}
+
+Result<QueryResult> Plan::Run(const Document& doc, const ExecContext& exec,
+                              bool allow_degraded) const {
+  ExecuteOptions options;
+  options.allow_degraded = allow_degraded;
+  return Execute(doc, exec, options);
 }
 
 uint64_t Plan::EstimatedVisits(const Document& doc) const {
@@ -165,8 +172,9 @@ bool Plan::PredictsBlowup(const Document& doc, const ExecContext& exec) const {
   return EstimatedVisits(doc) > remaining;
 }
 
-Result<QueryResult> Plan::Run(const Document& doc, const ExecContext& exec,
-                              bool allow_degraded) const {
+Result<QueryResult> Plan::Execute(const Document& doc,
+                                  const ExecContext& exec,
+                                  const ExecuteOptions& options) const {
   TREEQ_OBS_SPAN("engine.plan.run");
   TREEQ_OBS_INC("engine.plan.runs");
   // A request that spent its whole queue wait past the deadline should not
@@ -177,7 +185,7 @@ Result<QueryResult> Plan::Run(const Document& doc, const ExecContext& exec,
   out.engine = route_name();
   switch (query_.language) {
     case Language::kXPath: {
-      if (allow_degraded && stream_query_ != nullptr &&
+      if (options.allow_degraded && stream_query_ != nullptr &&
           PredictsBlowup(doc, exec)) {
         TREEQ_OBS_INC("engine.degraded");
         out.degraded = true;
@@ -186,52 +194,78 @@ Result<QueryResult> Plan::Run(const Document& doc, const ExecContext& exec,
             std::vector<NodeId> selected,
             stream::StreamMatcher::SelectFromTree(*stream_query_, doc.tree(),
                                                   /*stats=*/nullptr, exec));
-        out.nodes = NodeSet(doc.num_nodes());
-        for (NodeId v : selected) out.nodes.Insert(v);
+        NodeSet nodes(doc.num_nodes());
+        for (NodeId v : selected) nodes.Insert(v);
+        out.value.emplace<NodeSet>(std::move(nodes));
         return out;
       }
-      TREEQ_ASSIGN_OR_RETURN(out.nodes,
-                             xpath::EvalQueryFromRoot(doc, *query_.xpath,
-                                                      exec));
+      // Parallel routing: only when asked for, only with a runner to run
+      // the forked tasks, and only when the visit estimate says the query
+      // is big enough to amortize fork/merge overhead. The parallel
+      // evaluator's answer is bit-identical to the serial one.
+      if (options.parallelism >= 2 && options.runner != nullptr &&
+          EstimatedVisits(doc) >= options.parallel_min_visits) {
+        TREEQ_OBS_INC("engine.parallel_runs");
+        par::ParOptions par_options;
+        par_options.parallelism = options.parallelism;
+        par_options.runner = options.runner;
+        par_options.min_context = options.parallel_min_context;
+        par::ParStats par_stats;
+        TREEQ_ASSIGN_OR_RETURN(
+            NodeSet nodes,
+            xpath::EvalQueryFromRootParallel(doc, *query_.xpath, exec,
+                                             par_options, &par_stats));
+        out.partitions = par_stats.partitions;
+        out.parallel_ns = par_stats.parallel_ns;
+        out.merge_ns = par_stats.merge_ns;
+        out.value.emplace<NodeSet>(std::move(nodes));
+        return out;
+      }
+      TREEQ_ASSIGN_OR_RETURN(
+          NodeSet nodes, xpath::EvalQueryFromRoot(doc, *query_.xpath, exec));
+      out.value.emplace<NodeSet>(std::move(nodes));
       return out;
     }
     case Language::kDatalog: {
       TREEQ_ASSIGN_OR_RETURN(
-          out.nodes,
+          NodeSet nodes,
           datalog::EvaluateDatalog(*query_.datalog, doc, /*stats=*/nullptr,
                                    exec));
+      out.value.emplace<NodeSet>(std::move(nodes));
       return out;
     }
     case Language::kCq: {
       if (cq_boolean_) {
-        out.is_boolean = true;
         bool used_tractable_path = false;
         TREEQ_ASSIGN_OR_RETURN(
-            out.boolean,
+            bool answer,
             cq::EvaluateBooleanDichotomy(*query_.cq, doc,
                                          &used_tractable_path, exec));
+        out.value.emplace<bool>(answer);
         // Report the route the dichotomy actually took, not the prediction.
         out.engine =
             used_tractable_path ? "cq.x_property" : "cq.backtracking";
         return out;
       }
       TREEQ_ASSIGN_OR_RETURN(
-          out.tuples,
+          TupleSet tuples,
           cq::EvaluateAcyclic(*query_.cq, doc, UINT64_MAX, exec));
+      out.value.emplace<TupleSet>(std::move(tuples));
       return out;
     }
     case Language::kFo: {
-      out.is_boolean = true;
+      bool answer = false;
       if (fo_positive_) {
         TREEQ_ASSIGN_OR_RETURN(
-            out.boolean,
+            answer,
             fo::EvaluateSentencePositive(*query_.fo, doc, /*stats=*/nullptr,
                                          exec));
       } else {
         TREEQ_ASSIGN_OR_RETURN(
-            out.boolean,
+            answer,
             fo::EvaluateSentenceNaive(*query_.fo, doc, UINT64_MAX, exec));
       }
+      out.value.emplace<bool>(answer);
       return out;
     }
   }

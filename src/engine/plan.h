@@ -6,11 +6,13 @@
 #include <string_view>
 
 #include "cq/dichotomy.h"
+#include "engine/query.h"
 #include "query/parse.h"
 #include "tree/axes.h"
 #include "tree/document.h"
 #include "util/exec_context.h"
 #include "util/status.h"
+#include "util/task_runner.h"
 
 /// \file plan.h
 /// A `Plan` is a query parsed, validated, and routed once, then executable
@@ -35,28 +37,40 @@ class Plan;
 /// Shared read-only handle to a compiled plan.
 using PlanPtr = std::shared_ptr<const Plan>;
 
-/// The answer of one (plan, document) execution. Node-selecting languages
-/// (XPath, datalog, k-ary CQ) fill `nodes` or `tuples`; Boolean ones
-/// (Boolean CQ, FO sentences) fill `boolean`.
-struct QueryResult {
-  Language language = Language::kXPath;
-  bool is_boolean = false;
-  bool boolean = false;
-  /// True when the engine answered with the streaming fallback instead of
-  /// the set-at-a-time evaluator (graceful degradation under a budget).
-  bool degraded = false;
-  /// The evaluator that produced this answer ("xpath.set_at_a_time",
-  /// "xpath.stream", "cq.x_property", ...); a string literal, set by Run.
-  const char* engine = "";
-  NodeSet nodes;                          // kXPath, kDatalog
-  std::vector<std::vector<NodeId>> tuples;  // k-ary kCq
+/// The unified result type (engine/query.h) lives in the top-level treeq
+/// namespace; re-exported here where it historically lived.
+using ::treeq::QueryResult;
 
-  /// Uniform "how much did this select" accessor for logging/benches.
-  size_t cardinality() const {
-    if (is_boolean) return boolean ? 1 : 0;
-    if (!tuples.empty()) return tuples.size();
-    return static_cast<size_t>(nodes.size());
-  }
+/// Estimated-visits floor below which Execute keeps an XPath plan serial
+/// even when parallelism is requested: a query too small to amortize the
+/// fork/merge overhead of the partition-parallel kernels.
+inline constexpr uint64_t kParallelMinEstimatedVisits = 1 << 16;
+
+/// Per-execution knobs for Plan::Execute. Default-constructed options
+/// reproduce Run(doc, exec) exactly.
+struct ExecuteOptions {
+  /// Graceful degradation under a budget (see Run's three-arg overload).
+  bool allow_degraded = false;
+
+  /// Intra-query parallelism degree. 0 (or 1) keeps the evaluation serial
+  /// and bit-identical to Run; >= 2 lets an XPath plan fork its axis-image
+  /// steps across that many subtree partitions on `runner`. Ignored (the
+  /// run stays serial) when `runner` is null.
+  int parallelism = 0;
+
+  /// Who runs forked partition tasks. The Executor passes its own
+  /// fork-join runner (engine/task_group.h); standalone callers can pass a
+  /// par::ThreadPerTaskRunner or par::SerialRunner (util/task_runner.h).
+  par::TaskRunner* runner = nullptr;
+
+  /// Classifier floor: plans whose EstimatedVisits(doc) is below this stay
+  /// serial regardless of `parallelism`. Tests lower it to force the
+  /// parallel path on small documents.
+  uint64_t parallel_min_visits = kParallelMinEstimatedVisits;
+
+  /// Per-step floor: axis steps whose context set is smaller than this
+  /// stay serial inside a parallel run (par::ParOptions::min_context).
+  int parallel_min_context = 1024;
 };
 
 class Plan {
@@ -72,19 +86,24 @@ class Plan {
   /// set-at-a-time XPath, TMNF datalog pipeline, dichotomy-routed CQ,
   /// Corollary 5.2 positive FO (naive model checking for general FO
   /// sentences). Thread-safe; touches no mutable plan state.
+  ///
+  /// With `options.parallelism` >= 2 and a runner, an XPath plan big
+  /// enough for the classifier (`options.parallel_min_visits`) evaluates
+  /// via the partition-parallel kernels — same NodeSet, bit for bit — and
+  /// the result carries partitions/parallel_ns/merge_ns attribution.
+  /// Every evaluator charge goes to `exec`, so the run aborts with
+  /// DeadlineExceeded / ResourceExhausted / Cancelled as soon as a limit
+  /// trips (util/exec_context.h); with `options.allow_degraded`, an XPath
+  /// plan predicted to blow the visit budget falls back to the
+  /// O(depth * |Q|)-memory streaming evaluator over the forward rewrite
+  /// computed at Compile() time, flagged `degraded`.
+  Result<QueryResult> Execute(const Document& doc, const ExecContext& exec,
+                              const ExecuteOptions& options) const;
+
+  /// Thin wrappers over Execute with default options (kept for existing
+  /// callers; serial, unbounded unless `exec` is given).
   Result<QueryResult> Run(const Document& doc) const;
-
-  /// Bounded evaluation: every evaluator charge goes to `exec`, so the run
-  /// aborts with DeadlineExceeded / ResourceExhausted / Cancelled as soon
-  /// as a limit trips (util/exec_context.h).
   Result<QueryResult> Run(const Document& doc, const ExecContext& exec) const;
-
-  /// Bounded evaluation with graceful degradation: when `allow_degraded`
-  /// and the budget classifier (EstimatedVisits vs the remaining visit
-  /// budget) predicts the set-at-a-time evaluator would blow the budget,
-  /// an XPath plan falls back to the O(depth * |Q|)-memory streaming
-  /// evaluator over the forward rewrite computed at Compile() time. The
-  /// result is flagged `degraded` and counted as `engine.degraded`.
   Result<QueryResult> Run(const Document& doc, const ExecContext& exec,
                           bool allow_degraded) const;
 

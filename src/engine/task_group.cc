@@ -1,0 +1,13 @@
+#include "engine/task_group.h"
+
+#include "engine/executor.h"
+
+namespace treeq {
+namespace engine {
+
+void TaskGroupRunner::RunAll(std::vector<std::function<void()>> tasks) {
+  executor_->RunChildren(std::move(tasks));
+}
+
+}  // namespace engine
+}  // namespace treeq

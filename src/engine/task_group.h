@@ -1,0 +1,44 @@
+#ifndef TREEQ_ENGINE_TASK_GROUP_H_
+#define TREEQ_ENGINE_TASK_GROUP_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/task_runner.h"
+
+/// \file task_group.h
+/// The par::TaskRunner that schedules forked child tasks on an Executor's
+/// own worker pool — intra-query parallelism without a second thread pool.
+///
+/// A worker that forks does not sleep on its children: RunChildren pushes
+/// them to the FRONT of the executor's bounded queue (bypassing the
+/// capacity bound; see BoundedQueue::TryPushFront), runs one inline, and
+/// then help-runs queued child tasks until its group drains. Because
+/// children always sit ahead of requests in the queue, a helping worker
+/// never starts a new client request while child work is pending, and a
+/// single-worker pool completes a forked request by itself — the fork-join
+/// cannot deadlock at any pool size.
+
+namespace treeq {
+namespace engine {
+
+class Executor;
+
+/// Adapter: par::TaskRunner over Executor::RunChildren. One instance lives
+/// inside each Executor (Executor::task_runner()); it holds no state of
+/// its own and is thread-safe. Tasks must follow the TaskRunner contract
+/// (no throwing, no nested RunAll).
+class TaskGroupRunner : public par::TaskRunner {
+ public:
+  explicit TaskGroupRunner(Executor* executor) : executor_(executor) {}
+
+  void RunAll(std::vector<std::function<void()>> tasks) override;
+
+ private:
+  Executor* executor_;
+};
+
+}  // namespace engine
+}  // namespace treeq
+
+#endif  // TREEQ_ENGINE_TASK_GROUP_H_

@@ -1,0 +1,48 @@
+#ifndef TREEQ_STORAGE_PAR_JOIN_H_
+#define TREEQ_STORAGE_PAR_JOIN_H_
+
+#include <utility>
+#include <vector>
+
+#include "storage/structural_join.h"
+#include "tree/tree.h"
+#include "util/exec_context.h"
+#include "util/status.h"
+#include "util/task_runner.h"
+
+/// \file par_join.h
+/// Partition-parallel stack-tree structural join (treeq::par).
+///
+/// The serial StackTreeJoin scans both document-ordered lists once; its
+/// output is grouped by descendant in document order, and the ancestor
+/// group emitted for a descendant d depends only on ancestors a with
+/// a.pre <= d.pre (later ancestors cannot be on the stack when d is
+/// processed). So chunking the *descendant* list into K contiguous index
+/// ranges and running each chunk against the ancestor-list prefix with
+/// pre <= (chunk's last descendant pre) reproduces, per chunk, exactly the
+/// serial output rows for that chunk's descendants; concatenating the
+/// chunks in order is bit-identical to the serial result.
+///
+/// Each chunk task runs under a forked ExecContext share (cancellation
+/// fans out; the parent absorbs child spend at the join), charged
+/// 1 + |ancestor prefix| + |chunk| to mirror the list-scan cost.
+
+namespace treeq {
+namespace par {
+
+/// Parallel ancestor-descendant (or parent-child) structural join with
+/// output bit-identical to StackTreeJoin(ancestors, descendants,
+/// parent_child). Inputs must be sorted by pre. Falls back to the serial
+/// join when `options.parallelism` < 2, no runner is given, or the
+/// descendant list is smaller than `options.min_context`.
+Status ParStackTreeJoin(const std::vector<JoinItem>& ancestors,
+                        const std::vector<JoinItem>& descendants,
+                        bool parent_child,
+                        std::vector<std::pair<NodeId, NodeId>>* out,
+                        const ParOptions& options, const ExecContext& exec,
+                        ParStats* stats = nullptr);
+
+}  // namespace par
+}  // namespace treeq
+
+#endif  // TREEQ_STORAGE_PAR_JOIN_H_

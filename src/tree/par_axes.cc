@@ -1,0 +1,118 @@
+#include "tree/par_axes.h"
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace treeq {
+namespace par {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Divides a remaining budget into k equal shares (unlimited stays
+/// unlimited; at least 1 unit per share so a child can report its trip).
+uint64_t Share(uint64_t remaining, int k) {
+  if (remaining == UINT64_MAX) return UINT64_MAX;
+  const uint64_t share = remaining / static_cast<uint64_t>(k);
+  return share > 0 ? share : 1;
+}
+
+}  // namespace
+
+Status ParAxisImage(const Tree& tree, const TreeOrders& orders,
+                    const TreePartition& partition, Axis axis,
+                    const NodeSet& from, NodeSet* to,
+                    const ParOptions& options, const ExecContext& exec,
+                    ParStats* stats) {
+  const int k = options.parallelism;
+  if (k < 2 || options.runner == nullptr ||
+      from.size() < options.min_context) {
+    // Below the fork threshold the serial kernel wins; keep the serial
+    // charge schedule (1 + |from|) so degree-capped calls stay bounded.
+    TREEQ_RETURN_IF_ERROR(
+        exec.Charge(1 + static_cast<uint64_t>(from.size())));
+    AxisImage(tree, orders, axis, from, to);
+    return Status::OK();
+  }
+
+  const std::vector<NodeSet>& masks = partition.Masks(k);
+  const int degree = static_cast<int>(masks.size());
+  TREEQ_OBS_INC("par.forks");
+  TREEQ_OBS_COUNT("par.tasks", static_cast<uint64_t>(degree));
+
+  // One slot per partition: the split input, a forked child context, the
+  // task's partial image and its status. Slots are written only by their
+  // own task; the join barrier orders them before the merge below.
+  struct Slot {
+    NodeSet input;
+    std::shared_ptr<ExecContext> child;
+    NodeSet out;
+    Status status;
+  };
+  std::vector<Slot> slots(static_cast<size_t>(degree));
+  const uint64_t visit_share = Share(exec.RemainingVisits(), degree);
+  const uint64_t memory_share = Share(exec.RemainingMemory(), degree);
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<size_t>(degree));
+  const int n = tree.num_nodes();
+  for (int i = 0; i < degree; ++i) {
+    Slot& slot = slots[static_cast<size_t>(i)];
+    slot.input = from;
+    slot.input.IntersectWith(masks[static_cast<size_t>(i)]);
+    slot.out = NodeSet(n);
+    if (slot.input.empty()) continue;  // Image(∅) = ∅: nothing to fork
+    slot.child = exec.Fork(visit_share, memory_share);
+    tasks.push_back([&tree, &orders, axis, &slot] {
+      // The serial per-step schedule, charged against this partition's
+      // share; a cancelled/tripped parent fails this charge and the task
+      // skips its kernel entirely.
+      slot.status =
+          slot.child->Charge(1 + static_cast<uint64_t>(slot.input.size()));
+      if (!slot.status.ok()) return;
+      AxisImage(tree, orders, axis, slot.input, &slot.out);
+    });
+  }
+
+  const uint64_t fork_start = NowNs();
+  options.runner->RunAll(std::move(tasks));
+  const uint64_t merge_start = NowNs();
+
+  // Reconcile budgets and merge, deterministically by partition index:
+  // the first failing partition's status wins, and the fused word-OR
+  // reassembles the serial kernel's exact bit pattern.
+  Status first_error;
+  for (Slot& slot : slots) {
+    if (slot.child != nullptr) exec.AbsorbChildUsage(*slot.child);
+    if (first_error.ok() && !slot.status.ok()) first_error = slot.status;
+    if (slot.status.ok()) to->UnionWith(slot.out);
+  }
+  const uint64_t merge_end = NowNs();
+  if (stats != nullptr) {
+    ParStats local;
+    local.partitions = degree;
+    local.parallel_ns = merge_start - fork_start;
+    local.merge_ns = merge_end - merge_start;
+    stats->Accumulate(local);
+  }
+  TREEQ_OBS_HISTOGRAM("par.parallel_ns", merge_start - fork_start);
+  TREEQ_OBS_HISTOGRAM("par.merge_ns", merge_end - merge_start);
+  if (!first_error.ok()) return first_error;
+  // The parent may have been cancelled after every child finished; keep
+  // the sticky-abort contract at the stage boundary.
+  return exec.CheckNow();
+}
+
+}  // namespace par
+}  // namespace treeq

@@ -1,0 +1,49 @@
+#ifndef TREEQ_TREE_PAR_AXES_H_
+#define TREEQ_TREE_PAR_AXES_H_
+
+#include "tree/axes.h"
+#include "tree/node_set.h"
+#include "tree/orders.h"
+#include "tree/partition.h"
+#include "tree/tree.h"
+#include "util/exec_context.h"
+#include "util/status.h"
+#include "util/task_runner.h"
+
+/// \file par_axes.h
+/// Partition-parallel AxisImage (treeq::par): the word-parallel axis
+/// kernels of tree/axes.h, split across the disjoint subtree-range classes
+/// of a TreePartition and merged with the fused word-OR of NodeSet.
+///
+/// Correctness rests on AxisImage being a union homomorphism: for every
+/// axis, Image(from1 ∪ from2) = Image(from1) ∪ Image(from2), because the
+/// image is defined pointwise ({ v : ∃u ∈ from, Axis(u, v) }). The
+/// partition masks split `from` into disjoint pieces whose union is `from`,
+/// each piece is imaged by the unchanged serial kernel, and the OR-merge
+/// reassembles exactly the serial answer — bit-identical, not just
+/// set-equal, since NodeSets with equal membership have equal words.
+///
+/// Budgets: each partition task runs under an ExecContext forked from
+/// `exec` (util/exec_context.h) with a 1/k share of the remaining visit
+/// and memory budgets, charged 1 + |from_i| like the serial evaluator's
+/// per-step schedule; parent cancellation and sticky aborts fan out to
+/// every task, and the parent absorbs the children's spend at the join.
+
+namespace treeq {
+namespace par {
+
+/// Computes `*to` = { v : ∃u ∈ from, Axis(u, v) } exactly like
+/// AxisImage, forking the kernel across `options.parallelism` partitions
+/// of `partition` when the input is large enough. `*to` must be sized to
+/// the tree's universe. On an error (budget trip, cancellation) `*to` is
+/// unspecified. `stats`, when set, accumulates fork attribution.
+Status ParAxisImage(const Tree& tree, const TreeOrders& orders,
+                    const TreePartition& partition, Axis axis,
+                    const NodeSet& from, NodeSet* to,
+                    const ParOptions& options, const ExecContext& exec,
+                    ParStats* stats = nullptr);
+
+}  // namespace par
+}  // namespace treeq
+
+#endif  // TREEQ_TREE_PAR_AXES_H_

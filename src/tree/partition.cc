@@ -1,0 +1,50 @@
+#include "tree/partition.h"
+
+#include <algorithm>
+
+namespace treeq {
+
+int TreePartition::ClampDegree(int k) const {
+  if (k < 1) return 1;
+  if (k > num_nodes_ && num_nodes_ > 0) return num_nodes_;
+  return k;
+}
+
+std::vector<TreePartition::Range> TreePartition::Ranges(int k) const {
+  k = ClampDegree(k);
+  std::vector<Range> out;
+  out.reserve(static_cast<size_t>(k));
+  // Equal widths rounded up to whole 64-bit words; the last ranges absorb
+  // the (possibly empty) remainder.
+  const int width = ((num_nodes_ + k - 1) / k + 63) / 64 * 64;
+  int begin = 0;
+  for (int i = 0; i < k; ++i) {
+    const int end = std::min(num_nodes_, begin + width);
+    out.push_back(Range{begin, end});
+    begin = end;
+  }
+  return out;
+}
+
+const std::vector<NodeSet>& TreePartition::Masks(int k) const {
+  k = ClampDegree(k);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = masks_.find(k);
+  if (it != masks_.end()) return it->second;
+  std::vector<NodeSet> masks;
+  for (const Range& range : Ranges(k)) {
+    NodeSet mask(num_nodes_);
+    if (orders_->pre_is_identity) {
+      // Node id == pre rank: the mask is one contiguous word-fill.
+      mask.InsertRange(range.begin, range.end);
+    } else {
+      for (int r = range.begin; r < range.end; ++r) {
+        mask.Insert(orders_->node_at_pre[static_cast<size_t>(r)]);
+      }
+    }
+    masks.push_back(std::move(mask));
+  }
+  return masks_.emplace(k, std::move(masks)).first->second;
+}
+
+}  // namespace treeq

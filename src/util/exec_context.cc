@@ -29,10 +29,47 @@ ExecContext ExecContext::WithVisitBudget(uint64_t visits) {
   return ExecContext(limits);
 }
 
+std::shared_ptr<ExecContext> ExecContext::Fork(uint64_t visit_share,
+                                               uint64_t memory_share) const {
+  Limits limits;
+  limits.deadline = limits_.deadline;
+  limits.visit_budget = visit_share;
+  limits.memory_budget = memory_share;
+  auto child = std::make_shared<ExecContext>(limits);
+  child->parent_ = this;
+  // Force the slow charge path even for unlimited shares: that is where
+  // the parent's cancellation / sticky abort is observed.
+  child->limited_ = true;
+  TREEQ_OBS_INC("exec.forks");
+  return child;
+}
+
+uint64_t ExecContext::RemainingVisits() const {
+  if (limits_.visit_budget == UINT64_MAX) return UINT64_MAX;
+  const uint64_t used = visits_used_.load(std::memory_order_relaxed);
+  return limits_.visit_budget > used ? limits_.visit_budget - used : 0;
+}
+
+uint64_t ExecContext::RemainingMemory() const {
+  if (limits_.memory_budget == UINT64_MAX) return UINT64_MAX;
+  const uint64_t used = memory_used_.load(std::memory_order_relaxed);
+  return limits_.memory_budget > used ? limits_.memory_budget - used : 0;
+}
+
+void ExecContext::AbsorbChildUsage(const ExecContext& child) const {
+  visits_used_.fetch_add(child.visits_used(), std::memory_order_relaxed);
+  memory_used_.fetch_add(child.memory_used(), std::memory_order_relaxed);
+}
+
 Status ExecContext::ChargeSlow(uint64_t units) const {
   AbortKind aborted = abort_.load(std::memory_order_relaxed);
   if (aborted != AbortKind::kNone) return AbortStatus(aborted);
   if (cancelled_.load(std::memory_order_relaxed)) {
+    return Trip(AbortKind::kCancelled);
+  }
+  // Cancellation fan-out: a cancelled or tripped parent stops every child
+  // at its next charge (children are always limited_, so this runs).
+  if (parent_ != nullptr && (parent_->cancelled() || parent_->expired())) {
     return Trip(AbortKind::kCancelled);
   }
   uint64_t before = visits_used_.fetch_add(units, std::memory_order_relaxed);
@@ -56,6 +93,9 @@ Status ExecContext::ChargeMemory(uint64_t bytes) const {
   if (cancelled_.load(std::memory_order_relaxed)) {
     return Trip(AbortKind::kCancelled);
   }
+  if (parent_ != nullptr && (parent_->cancelled() || parent_->expired())) {
+    return Trip(AbortKind::kCancelled);
+  }
   uint64_t before = memory_used_.fetch_add(bytes, std::memory_order_relaxed);
   uint64_t after = before + bytes;
   if (after > limits_.memory_budget || after < before) {
@@ -68,6 +108,9 @@ Status ExecContext::CheckNow() const {
   AbortKind aborted = abort_.load(std::memory_order_relaxed);
   if (aborted != AbortKind::kNone) return AbortStatus(aborted);
   if (cancelled_.load(std::memory_order_relaxed)) {
+    return Trip(AbortKind::kCancelled);
+  }
+  if (parent_ != nullptr && (parent_->cancelled() || parent_->expired())) {
     return Trip(AbortKind::kCancelled);
   }
   if (limited_ && limits_.deadline != Clock::time_point::max() &&

@@ -2,6 +2,8 @@
 
 #include "obs/obs.h"
 #include "tree/label_index.h"
+#include "tree/par_axes.h"
+#include "tree/partition.h"
 
 namespace treeq {
 namespace xpath {
@@ -23,7 +25,40 @@ struct EvalCtx {
   const LabelIndex* labels = nullptr;
   const ExecContext* exec = nullptr;
   Status* abort = nullptr;
+  // Parallel evaluation (EvalQueryFromRootParallel): when all three are
+  // set, axis-image steps route through ParAxisImage, which forks large
+  // context sets across the document's subtree partitions.
+  const TreePartition* partition = nullptr;
+  const par::ParOptions* par = nullptr;
+  par::ParStats* pstats = nullptr;
 };
+
+/// One axis-image step: the serial kernel with the serial charge schedule
+/// (1 + |from|), or — under EvalQueryFromRootParallel — the partition-
+/// parallel kernel, which keeps that exact schedule for small inputs and
+/// charges per-partition shares for forked ones. Returns false after
+/// recording the abort status when a budget trips.
+bool StepImage(const EvalCtx& ctx, Axis axis, const NodeSet& from,
+               NodeSet* to) {
+  if (ctx.partition != nullptr && ctx.par != nullptr && ctx.exec != nullptr) {
+    Status s = par::ParAxisImage(ctx.tree, ctx.orders, *ctx.partition, axis,
+                                 from, to, *ctx.par, *ctx.exec, ctx.pstats);
+    if (!s.ok()) {
+      *ctx.abort = std::move(s);
+      return false;
+    }
+    return true;
+  }
+  if (ctx.exec != nullptr) {
+    Status s = ctx.exec->Charge(1 + static_cast<uint64_t>(from.size()));
+    if (!s.ok()) {
+      *ctx.abort = std::move(s);
+      return false;
+    }
+  }
+  AxisImage(ctx.tree, ctx.orders, axis, from, to);
+  return true;
+}
 
 /// True once a bounded evaluation has tripped a limit.
 bool Aborted(const EvalCtx& ctx) {
@@ -63,12 +98,9 @@ NodeSet EvalPathCtx(const EvalCtx& ctx, const PathExpr& path,
   switch (path.kind) {
     case PathExpr::Kind::kStep: {
       NodeSet out(n);
-      if (!ChargeOp(ctx, 1 + static_cast<uint64_t>(context.size()))) {
-        return out;
-      }
       TREEQ_OBS_INC("xpath.axis_ops");
       TREEQ_OBS_HISTOGRAM("xpath.context_size", context.size());
-      AxisImage(ctx.tree, ctx.orders, path.axis, context, &out);
+      if (!StepImage(ctx, path.axis, context, &out)) return out;
       ApplyQualifiers(ctx, path, &out);
       TREEQ_OBS_HISTOGRAM("xpath.result_size", out.size());
       return out;
@@ -141,13 +173,11 @@ NodeSet EvalPathExistsCtx(const EvalCtx& ctx, const PathExpr& path,
       NodeSet restricted = target;
       ApplyQualifiers(ctx, path, &restricted);
       NodeSet out(n);
-      if (!ChargeOp(ctx, 1 + static_cast<uint64_t>(restricted.size()))) {
-        return out;
-      }
       TREEQ_OBS_INC("xpath.axis_ops");
       TREEQ_OBS_HISTOGRAM("xpath.context_size", restricted.size());
-      AxisImage(ctx.tree, ctx.orders, InverseAxis(path.axis), restricted,
-                &out);
+      if (!StepImage(ctx, InverseAxis(path.axis), restricted, &out)) {
+        return out;
+      }
       TREEQ_OBS_HISTOGRAM("xpath.result_size", out.size());
       return out;
     }
@@ -239,6 +269,21 @@ Result<NodeSet> EvalQueryFromRoot(const Tree& tree, const TreeOrders& orders,
   EvalCtx ctx{tree, orders, nullptr, &exec, &abort};
   NodeSet out = EvalPathCtx(
       ctx, path, NodeSet::Singleton(tree.num_nodes(), tree.root()));
+  if (!abort.ok()) return abort;
+  return out;
+}
+
+Result<NodeSet> EvalQueryFromRootParallel(const Document& doc,
+                                          const PathExpr& path,
+                                          const ExecContext& exec,
+                                          const par::ParOptions& options,
+                                          par::ParStats* stats) {
+  TREEQ_OBS_SPAN("xpath.eval");
+  Status abort;
+  EvalCtx ctx{doc.tree(),    doc.orders(), &doc.label_index(), &exec,
+              &abort,        &doc.partition(), &options,       stats};
+  NodeSet out = EvalPathCtx(
+      ctx, path, NodeSet::Singleton(doc.num_nodes(), doc.tree().root()));
   if (!abort.ok()) return abort;
   return out;
 }

@@ -7,17 +7,15 @@ namespace treeq {
 namespace xpath {
 namespace {
 
-/// Maximum expression nesting (parens, qualifiers) the recursive-descent
-/// parser accepts. Each level costs several call-stack frames, so without a
-/// bound a pathological "a[a[a[...]]]" input overflows the stack; deeper
-/// expressions get a ParseError (with offset) instead. 512 levels admit any
-/// realistic query while keeping peak parser stack well under common stack
-/// limits, even with sanitizer-inflated frames.
-constexpr int kMaxNesting = 512;
-
+// The nesting bound (ParserOptions::max_nesting, default 512) exists
+// because each level costs several call-stack frames: without it a
+// pathological "a[a[a[...]]]" input overflows the stack. 512 levels admit
+// any realistic query while keeping peak parser stack well under common
+// stack limits, even with sanitizer-inflated frames.
 class XPathParser {
  public:
-  explicit XPathParser(std::string_view input) : input_(input) {}
+  XPathParser(std::string_view input, const ParserOptions& options)
+      : input_(input), options_(options) {}
 
   Result<std::unique_ptr<PathExpr>> Parse() {
     Skip();
@@ -120,12 +118,12 @@ class XPathParser {
 
   Status NestingError() {
     return Error("expression nesting deeper than " +
-                 std::to_string(kMaxNesting));
+                 std::to_string(options_.max_nesting));
   }
 
   Result<std::unique_ptr<PathExpr>> ParseUnion(bool anchor_first_step) {
     DepthGuard guard(&depth_);
-    if (depth_ > kMaxNesting) return NestingError();
+    if (depth_ > options_.max_nesting) return NestingError();
     TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<PathExpr> left,
                            ParseSeq(anchor_first_step));
     while (Match("|")) {
@@ -197,6 +195,13 @@ class XPathParser {
         Result<Axis> parsed = ParseAxis(first);
         if (!parsed.ok()) return Error("unknown axis '" + first + "'");
         axis = parsed.value();
+        // Dialect gate: with paper_axes off, only the standard XPath
+        // spelling of each axis is admitted — a paper alias ("Child+",
+        // "NextSibling*", ...) parses to an axis whose canonical name
+        // differs from what was typed.
+        if (!options_.paper_axes && first != AxisName(axis)) {
+          return Error("unknown axis '" + first + "'");
+        }
         if (!Match("*")) {
           TREEQ_ASSIGN_OR_RETURN(name_test, ParseName());
         }
@@ -223,7 +228,7 @@ class XPathParser {
 
   Result<std::unique_ptr<Qualifier>> ParseQualOr() {
     DepthGuard guard(&depth_);
-    if (depth_ > kMaxNesting) return NestingError();
+    if (depth_ > options_.max_nesting) return NestingError();
     TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> left, ParseQualAnd());
     while (MatchWord("or")) {
       TREEQ_ASSIGN_OR_RETURN(std::unique_ptr<Qualifier> right, ParseQualAnd());
@@ -276,6 +281,7 @@ class XPathParser {
   }
 
   std::string_view input_;
+  ParserOptions options_;
   size_t pos_ = 0;
   int depth_ = 0;
 };
@@ -283,7 +289,12 @@ class XPathParser {
 }  // namespace
 
 Result<std::unique_ptr<PathExpr>> ParseXPath(std::string_view input) {
-  return XPathParser(input).Parse();
+  return XPathParser(input, ParserOptions{}).Parse();
+}
+
+Result<std::unique_ptr<PathExpr>> ParseXPath(std::string_view input,
+                                             const ParserOptions& options) {
+  return XPathParser(input, options).Parse();
 }
 
 }  // namespace xpath

@@ -34,8 +34,28 @@
 namespace treeq {
 namespace xpath {
 
+/// Default recursion bound (see ParserOptions::max_nesting).
+inline constexpr int kDefaultMaxNesting = 512;
+
+/// Parser knobs. Default-constructed options keep the historical behavior
+/// (and error messages) bit for bit.
+struct ParserOptions {
+  /// Maximum expression nesting (parens, qualifiers) the recursive-descent
+  /// parser accepts before failing with a ParseError; bounds parser stack
+  /// growth on adversarial inputs like "a[a[a[...]]]".
+  int max_nesting = kDefaultMaxNesting;
+  /// Accept the paper's relational axis aliases ("Child+", "NextSibling*",
+  /// "Following", ...) in axis position alongside the standard XPath names.
+  /// When false, only the standard names ("descendant",
+  /// "following-sibling", ...) parse; aliases fail with the same
+  /// "unknown axis" ParseError an unknown name gets.
+  bool paper_axes = true;
+};
+
 /// Parses a Core XPath expression.
 Result<std::unique_ptr<PathExpr>> ParseXPath(std::string_view input);
+Result<std::unique_ptr<PathExpr>> ParseXPath(std::string_view input,
+                                             const ParserOptions& options);
 
 }  // namespace xpath
 }  // namespace treeq

@@ -1,0 +1,644 @@
+// Differential tests for the partition-parallel kernels and the engine's
+// parallel execution path (tree/par_axes.h, storage/par_join.h,
+// cq/par_twig.h, engine/plan.h + executor.h): every parallel result must be
+// bit-identical (NodeSets) or canonical-set-identical (tuple sets) to the
+// serial kernel it shadows, at parallelism 0, 2, and 8, under both a true
+// multi-thread runner and a pinned serial runner. min_context is forced to
+// 1 throughout so even word-boundary-sized documents take the fork path.
+//
+// Also covered: deadline/budget/cancel fan-out into forked child tasks (a
+// cancelled parent must stop its children, not just itself), and the
+// ParseQuery options satellite (max_nesting override, paper-axes dialect
+// gate) including bit-identical default error messages.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cq/par_twig.h"
+#include "cq/twig_join.h"
+#include "engine/executor.h"
+#include "engine/plan.h"
+#include "query/parse.h"
+#include "storage/par_join.h"
+#include "storage/structural_join.h"
+#include "tree/axes.h"
+#include "tree/document.h"
+#include "tree/generator.h"
+#include "tree/node_set.h"
+#include "tree/orders.h"
+#include "tree/par_axes.h"
+#include "tree/partition.h"
+#include "util/exec_context.h"
+#include "util/random.h"
+#include "util/task_runner.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace treeq {
+namespace {
+
+const Axis kAllAxes[] = {
+    Axis::kSelf,
+    Axis::kChild,
+    Axis::kParent,
+    Axis::kDescendant,
+    Axis::kAncestor,
+    Axis::kDescendantOrSelf,
+    Axis::kAncestorOrSelf,
+    Axis::kNextSibling,
+    Axis::kPrevSibling,
+    Axis::kFollowingSibling,
+    Axis::kPrecedingSibling,
+    Axis::kFollowingSiblingOrSelf,
+    Axis::kPrecedingSiblingOrSelf,
+    Axis::kFollowing,
+    Axis::kPreceding,
+    Axis::kFirstChild,
+    Axis::kFirstChildInv,
+};
+
+// Same word-boundary universe sizes as axes_kernel_test.cc: the OR-merge
+// and the partition masks share the tail-masking hazards.
+const int kUniverseSizes[] = {1, 5, 63, 64, 65, 127, 128, 130, 192};
+
+const int kParallelisms[] = {0, 2, 8};
+
+std::set<NodeId> RandomSubset(Rng* rng, int n, double density) {
+  std::set<NodeId> s;
+  for (NodeId v = 0; v < n; ++v) {
+    if (rng->Bernoulli(density)) s.insert(v);
+  }
+  return s;
+}
+
+// The full axes_kernel_test input grid: empty, singletons, full universe,
+// three densities. Serial AxisImage is the oracle.
+void CheckAllAxesParallel(const Tree& t, Rng* rng, const char* shape) {
+  const int n = t.num_nodes();
+  const TreeOrders o = ComputeOrders(t);
+  const TreePartition partition(t, o);
+  std::vector<std::set<NodeId>> inputs;
+  inputs.push_back({});
+  inputs.push_back({t.root()});
+  inputs.push_back({static_cast<NodeId>(n - 1)});
+  std::set<NodeId> all;
+  for (NodeId v = 0; v < n; ++v) all.insert(v);
+  inputs.push_back(all);
+  for (double density : {0.05, 0.3, 0.8}) {
+    inputs.push_back(RandomSubset(rng, n, density));
+  }
+
+  par::SerialRunner serial_runner;
+  par::ThreadPerTaskRunner thread_runner;
+  par::TaskRunner* runners[] = {&serial_runner, &thread_runner};
+
+  for (Axis axis : kAllAxes) {
+    for (const std::set<NodeId>& from_ref : inputs) {
+      NodeSet from(n);
+      for (NodeId v : from_ref) from.Insert(v);
+      NodeSet want(n);
+      AxisImage(t, o, axis, from, &want);
+
+      for (int parallelism : kParallelisms) {
+        for (par::TaskRunner* runner : runners) {
+          par::ParOptions options;
+          options.parallelism = parallelism;
+          options.runner = parallelism >= 2 ? runner : nullptr;
+          options.min_context = 1;  // force forking on tiny inputs
+          NodeSet got(n);
+          Status s = par::ParAxisImage(t, o, partition, axis, from, &got,
+                                       options, ExecContext::Unbounded());
+          ASSERT_TRUE(s.ok()) << s.ToString();
+          EXPECT_TRUE(got == want)
+              << shape << " n=" << n << " axis=" << AxisName(axis)
+              << " |from|=" << from_ref.size() << " k=" << parallelism;
+          if (parallelism < 2) break;  // runner is ignored when serial
+        }
+      }
+    }
+  }
+}
+
+TEST(ParAxesDifferentialTest, RandomTrees) {
+  Rng rng(1234);
+  for (int n : kUniverseSizes) {
+    RandomTreeOptions opts;
+    opts.num_nodes = n;
+    opts.attach_window = 4;  // non-pre-order node ids: remap path
+    opts.alphabet = {"a", "b"};
+    Tree t = RandomTree(&rng, opts);
+    CheckAllAxesParallel(t, &rng, "random");
+  }
+}
+
+TEST(ParAxesDifferentialTest, DeepPaths) {
+  Rng rng(99);
+  for (int n : kUniverseSizes) {
+    Tree t = Chain(n, "a", "b");
+    CheckAllAxesParallel(t, &rng, "chain");
+  }
+}
+
+TEST(ParAxesDifferentialTest, WideFlat) {
+  Rng rng(7);
+  for (int n : kUniverseSizes) {
+    if (n < 2) continue;
+    Tree t = Star(n);
+    CheckAllAxesParallel(t, &rng, "star");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ParStackTreeJoin vs StackTreeJoin: output must be bit-identical including
+// row order (the chunked join preserves the serial descendant grouping).
+
+TEST(ParJoinDifferentialTest, MatchesSerialStackTreeJoin) {
+  par::ThreadPerTaskRunner runner;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(500 + seed);
+    RandomTreeOptions opts;
+    opts.num_nodes = static_cast<int>(rng.Uniform(2, 192));
+    opts.attach_window = static_cast<int>(rng.Uniform(1, 8));
+    opts.alphabet = {"a", "b"};
+    Tree t = RandomTree(&rng, opts);
+    TreeOrders o = ComputeOrders(t);
+
+    std::vector<NodeId> anc_nodes, desc_nodes;
+    for (NodeId v = 0; v < t.num_nodes(); ++v) {
+      if (rng.Bernoulli(0.5)) anc_nodes.push_back(v);
+      if (rng.Bernoulli(0.5)) desc_nodes.push_back(v);
+    }
+    std::vector<JoinItem> ancestors = MakeJoinItems(o, anc_nodes);
+    std::vector<JoinItem> descendants = MakeJoinItems(o, desc_nodes);
+
+    for (bool parent_child : {false, true}) {
+      std::vector<std::pair<NodeId, NodeId>> want =
+          StackTreeJoin(ancestors, descendants, parent_child);
+      for (int parallelism : kParallelisms) {
+        par::ParOptions options;
+        options.parallelism = parallelism;
+        options.runner = parallelism >= 2 ? &runner : nullptr;
+        options.min_context = 1;
+        std::vector<std::pair<NodeId, NodeId>> got;
+        Status s = par::ParStackTreeJoin(ancestors, descendants, parent_child,
+                                         &got, options,
+                                         ExecContext::Unbounded());
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        EXPECT_EQ(got, want) << "seed " << 500 + seed
+                             << " parent_child=" << parent_child
+                             << " k=" << parallelism;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 100-seed twig corpus: ParTwigStackJoin vs TwigStackJoin, same document
+// and pattern recipe as differential_test.cc.
+
+const std::vector<std::string> kAlphabet = {"a", "b", "c"};
+
+std::string RandomLabel(Rng* rng) {
+  return kAlphabet[static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(kAlphabet.size()) - 1))];
+}
+
+Tree RandomDocumentTree(Rng* rng, int max_nodes) {
+  static const int kSizes[] = {3, 7, 31, 63, 64, 65, 96, 127, 128, 129};
+  std::vector<int> sizes;
+  for (int s : kSizes) {
+    if (s <= max_nodes) sizes.push_back(s);
+  }
+  int n = sizes[static_cast<size_t>(
+      rng->Uniform(0, static_cast<int64_t>(sizes.size()) - 1))];
+  switch (rng->Uniform(0, 3)) {
+    case 0:
+      return Chain(n, "a", "b");
+    case 1:
+      return Star(n, "a", rng->Bernoulli(0.5) ? "a" : "b");
+    default: {
+      RandomTreeOptions opt;
+      opt.num_nodes = n;
+      opt.attach_window = static_cast<int>(rng->Uniform(1, 8));
+      opt.alphabet = kAlphabet;
+      opt.second_label_prob = 0.2;
+      return RandomTree(rng, opt);
+    }
+  }
+}
+
+cq::TwigPattern RandomTwig(Rng* rng, int max_nodes) {
+  cq::TwigPattern pattern;
+  int n = static_cast<int>(rng->Uniform(1, max_nodes));
+  for (int i = 0; i < n; ++i) {
+    cq::TwigPatternNode node;
+    node.label = RandomLabel(rng);
+    if (i > 0) {
+      node.parent = static_cast<int>(rng->Uniform(0, i - 1));
+      node.edge = rng->Bernoulli(0.5) ? Axis::kChild : Axis::kDescendant;
+    }
+    pattern.nodes.push_back(std::move(node));
+  }
+  return pattern;
+}
+
+cq::TupleSet Sorted(cq::TupleSet tuples) {
+  std::sort(tuples.begin(), tuples.end());
+  return tuples;
+}
+
+TEST(ParTwigDifferentialTest, HundredSeedCorpus) {
+  const int kTrials = 100;
+  par::ThreadPerTaskRunner runner;
+  for (uint64_t seed = 0; seed < kTrials; ++seed) {
+    Rng rng(1000 + seed);
+    Document doc(RandomDocumentTree(&rng, /*max_nodes=*/129));
+    cq::TwigPattern pattern = RandomTwig(&rng, /*max_nodes=*/4);
+    ASSERT_TRUE(pattern.Validate().ok()) << pattern.ToString();
+
+    Result<cq::TupleSet> serial = cq::TwigStackJoin(pattern, doc);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    cq::TupleSet want = Sorted(std::move(serial).value());
+
+    for (int parallelism : kParallelisms) {
+      par::ParOptions options;
+      options.parallelism = parallelism;
+      options.runner = parallelism >= 2 ? &runner : nullptr;
+      options.min_context = 1;
+      Result<cq::TupleSet> got = cq::ParTwigStackJoin(pattern, doc, options);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(Sorted(std::move(got).value()), want)
+          << "seed " << 1000 + seed << " k=" << parallelism << " on "
+          << pattern.ToString();
+    }
+  }
+}
+
+// The parallel twig join's canonical output must equal the serial join's
+// canonical output exactly (not just as sorted multisets): both end in one
+// CanonicalizeTuples pass.
+TEST(ParTwigDifferentialTest, CanonicalOrderMatchesSerial) {
+  Rng rng(77);
+  par::ThreadPerTaskRunner runner;
+  Document doc(CatalogDocument(&rng, CatalogOptions{}));
+  cq::TwigPattern pattern;
+  pattern.nodes.push_back({"catalog", Axis::kDescendant, -1});
+  pattern.nodes.push_back({"product", Axis::kDescendant, 0});
+  pattern.nodes.push_back({"review", Axis::kDescendant, 1});
+  ASSERT_TRUE(pattern.Validate().ok());
+
+  Result<cq::TupleSet> serial = cq::TwigStackJoin(pattern, doc);
+  ASSERT_TRUE(serial.ok());
+  par::ParOptions options;
+  options.parallelism = 8;
+  options.runner = &runner;
+  options.min_context = 1;
+  par::ParStats stats;
+  Result<cq::TupleSet> parallel = cq::ParTwigStackJoin(
+      pattern, doc, options, ExecContext::Unbounded(), nullptr, &stats);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel.value(), serial.value());
+  EXPECT_GT(stats.partitions, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-query parallel evaluation: EvalQueryFromRootParallel and
+// Plan::Execute must return bit-identical NodeSets at every parallelism.
+
+const char* const kQueries[] = {
+    "//a",
+    "//a//b",
+    "/descendant-or-self::*[a]/b",
+    "//b[following-sibling::a]/ancestor::a",
+    "//a[not(b)]/following::b",
+};
+
+TEST(ParEvalDifferentialTest, WholeQueriesBitIdentical) {
+  Rng rng(4242);
+  RandomTreeOptions opts;
+  opts.num_nodes = 400;
+  opts.attach_window = 6;
+  opts.alphabet = {"a", "b"};
+  Document doc(RandomTree(&rng, opts));
+  par::ThreadPerTaskRunner runner;
+
+  for (const char* text : kQueries) {
+    auto parsed = xpath::ParseXPath(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+    const xpath::PathExpr& path = *parsed.value();
+    Result<NodeSet> want =
+        xpath::EvalQueryFromRoot(doc, path, ExecContext::Unbounded());
+    ASSERT_TRUE(want.ok());
+
+    for (int parallelism : kParallelisms) {
+      par::ParOptions options;
+      options.parallelism = parallelism;
+      options.runner = parallelism >= 2 ? &runner : nullptr;
+      options.min_context = 1;
+      par::ParStats stats;
+      Result<NodeSet> got = xpath::EvalQueryFromRootParallel(
+          doc, path, ExecContext::Unbounded(), options, &stats);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_TRUE(got.value() == want.value())
+          << text << " k=" << parallelism;
+      if (parallelism >= 2) {
+        EXPECT_GT(stats.partitions, 0) << text;
+      }
+    }
+  }
+}
+
+// Charge-schedule identity at parallelism 0: the parallel entry point with
+// a degenerate ParOptions must trip a visit budget at exactly the same
+// point as the serial evaluator (same status, same visits_used).
+TEST(ParEvalDifferentialTest, SerialPathPreservesChargeSchedule) {
+  Rng rng(11);
+  RandomTreeOptions opts;
+  opts.num_nodes = 200;
+  opts.alphabet = {"a", "b"};
+  Document doc(RandomTree(&rng, opts));
+  auto parsed = xpath::ParseXPath("//a//b");
+  ASSERT_TRUE(parsed.ok());
+
+  // Find the exact budget at which the serial run completes.
+  ExecContext probe = ExecContext::WithVisitBudget(UINT64_MAX);
+  Result<NodeSet> full =
+      xpath::EvalQueryFromRoot(doc, *parsed.value(), probe);
+  ASSERT_TRUE(full.ok());
+  const uint64_t exact = probe.visits_used();
+
+  for (uint64_t budget : {exact, exact - 1, exact / 2}) {
+    ExecContext serial_exec = ExecContext::WithVisitBudget(budget);
+    Result<NodeSet> serial =
+        xpath::EvalQueryFromRoot(doc, *parsed.value(), serial_exec);
+
+    ExecContext par_exec = ExecContext::WithVisitBudget(budget);
+    par::ParOptions options;  // parallelism 0: must be the identical path
+    Result<NodeSet> parallel = xpath::EvalQueryFromRootParallel(
+        doc, *parsed.value(), par_exec, options);
+
+    EXPECT_EQ(serial.ok(), parallel.ok()) << "budget " << budget;
+    if (serial.ok() && parallel.ok()) {
+      EXPECT_TRUE(serial.value() == parallel.value());
+    } else if (!serial.ok() && !parallel.ok()) {
+      EXPECT_EQ(serial.status().code(), parallel.status().code());
+    }
+    EXPECT_EQ(serial_exec.visits_used(), par_exec.visits_used())
+        << "budget " << budget;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine level: Submit(QueryRequest) with options.parallelism produces the
+// same nodes as the serial plan run, and the result carries partition
+// attribution when the parallel path actually ran.
+
+TEST(ParEngineTest, SubmitParallelismMatchesSerial) {
+  Rng rng(21);
+  RandomTreeOptions opts;
+  opts.num_nodes = 3000;
+  opts.attach_window = 8;
+  opts.alphabet = {"a", "b"};
+  DocumentPtr doc = MakeDocumentWithOrders(RandomTree(&rng, opts));
+
+  auto plan = engine::Plan::Compile(Language::kXPath, "//a//b");
+  ASSERT_TRUE(plan.ok());
+  Result<QueryResult> serial = plan.value()->Run(*doc);
+  ASSERT_TRUE(serial.ok());
+
+  engine::Executor executor(engine::Executor::Options{.num_workers = 4});
+  for (int parallelism : kParallelisms) {
+    QueryRequest request;
+    request.plan = plan.value();
+    request.document = doc;
+    request.options.parallelism = parallelism;
+    engine::Submission submission = executor.Submit(std::move(request));
+    Result<QueryResult> got = submission.future.get();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TRUE(got->is_nodes());
+    EXPECT_TRUE(got->nodes() == serial->nodes()) << "k=" << parallelism;
+    if (parallelism == 0) {
+      EXPECT_EQ(got->partitions, 0);
+    }
+  }
+}
+
+// Forcing the classifier floor down via Plan::Execute with the executor's
+// own task runner: the parallel path must run (partitions > 0) and still
+// agree bit-for-bit.
+TEST(ParEngineTest, ExecuteOnExecutorRunnerReportsPartitions) {
+  Rng rng(22);
+  RandomTreeOptions opts;
+  opts.num_nodes = 1500;
+  opts.attach_window = 8;
+  opts.alphabet = {"a", "b"};
+  DocumentPtr doc = MakeDocumentWithOrders(RandomTree(&rng, opts));
+  auto plan = engine::Plan::Compile(Language::kXPath, "//a//b");
+  ASSERT_TRUE(plan.ok());
+  Result<QueryResult> serial = plan.value()->Run(*doc);
+  ASSERT_TRUE(serial.ok());
+
+  engine::Executor executor(engine::Executor::Options{.num_workers = 2});
+  engine::ExecuteOptions exec_options;
+  exec_options.parallelism = 8;
+  exec_options.runner = &executor.task_runner();
+  exec_options.parallel_min_visits = 1;  // force the parallel route
+  exec_options.parallel_min_context = 1;
+  Result<QueryResult> got = plan.value()->Execute(
+      *doc, ExecContext::Unbounded(), exec_options);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(got->nodes() == serial->nodes());
+  EXPECT_GT(got->partitions, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline / budget / cancel: forked children must stop when the parent
+// context trips. These run the parallel path directly with a thread runner,
+// so a hang (children ignoring the parent) fails the suite timeout.
+
+TEST(ParCancelTest, VisitBudgetTripsParallelRun) {
+  Rng rng(31);
+  RandomTreeOptions opts;
+  opts.num_nodes = 2000;
+  opts.attach_window = 8;
+  opts.alphabet = {"a", "b"};
+  Document doc(RandomTree(&rng, opts));
+  auto parsed = xpath::ParseXPath("//a//b//a");
+  ASSERT_TRUE(parsed.ok());
+  par::ThreadPerTaskRunner runner;
+  par::ParOptions options;
+  options.parallelism = 8;
+  options.runner = &runner;
+  options.min_context = 1;
+
+  ExecContext exec = ExecContext::WithVisitBudget(50);
+  Result<NodeSet> got = xpath::EvalQueryFromRootParallel(
+      doc, *parsed.value(), exec, options);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kResourceExhausted)
+      << got.status().ToString();
+}
+
+TEST(ParCancelTest, ParentCancelStopsChildren) {
+  Rng rng(32);
+  RandomTreeOptions opts;
+  opts.num_nodes = 4000;
+  opts.attach_window = 8;
+  opts.alphabet = {"a", "b"};
+  Document doc(RandomTree(&rng, opts));
+  auto parsed = xpath::ParseXPath("//a//b//a//b");
+  ASSERT_TRUE(parsed.ok());
+  par::ThreadPerTaskRunner runner;
+  par::ParOptions options;
+  options.parallelism = 4;
+  options.runner = &runner;
+  options.min_context = 1;
+
+  ExecContext exec;
+  // A pre-cancelled parent: every child's first charge must observe the
+  // cancellation through the parent back-pointer and abort.
+  exec.Cancel();
+  Result<NodeSet> got = xpath::EvalQueryFromRootParallel(
+      doc, *parsed.value(), exec, options);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ParCancelTest, ExecutorCancelMidRunCompletesCancelled) {
+  Rng rng(33);
+  RandomTreeOptions opts;
+  opts.num_nodes = 6000;
+  opts.attach_window = 8;
+  opts.alphabet = {"a", "b"};
+  DocumentPtr doc = MakeDocumentWithOrders(RandomTree(&rng, opts));
+  auto plan = engine::Plan::Compile(
+      Language::kXPath, "//a//b//a//b//a");
+  ASSERT_TRUE(plan.ok());
+
+  engine::Executor executor(engine::Executor::Options{.num_workers = 2});
+  // Repeat until a Cancel lands mid-evaluation (timing-dependent); a
+  // pre-started Cancel is also a valid outcome, so each round accepts
+  // either Cancelled or a completed result and stops at first Cancelled.
+  bool saw_cancelled = false;
+  for (int round = 0; round < 20 && !saw_cancelled; ++round) {
+    QueryRequest request;
+    request.plan = plan.value();
+    request.document = doc;
+    request.options.parallelism = 4;
+    engine::Submission submission = executor.Submit(std::move(request));
+    std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+    submission.Cancel();
+    Result<QueryResult> got = submission.future.get();  // must not hang
+    if (!got.ok()) {
+      EXPECT_EQ(got.status().code(), StatusCode::kCancelled)
+          << got.status().ToString();
+      saw_cancelled = true;
+    }
+  }
+  EXPECT_TRUE(saw_cancelled);
+}
+
+// Budget accounting survives the fork-join: the parent's visits_used after
+// a parallel run includes the absorbed child spend (it is at least the
+// serial run's total, which the k=0 path reproduces exactly).
+TEST(ParCancelTest, ParentAbsorbsChildSpend) {
+  Rng rng(34);
+  RandomTreeOptions opts;
+  opts.num_nodes = 1000;
+  opts.alphabet = {"a", "b"};
+  Document doc(RandomTree(&rng, opts));
+  auto parsed = xpath::ParseXPath("//a//b");
+  ASSERT_TRUE(parsed.ok());
+
+  ExecContext serial_exec = ExecContext::WithVisitBudget(UINT64_MAX);
+  ASSERT_TRUE(xpath::EvalQueryFromRoot(doc, *parsed.value(), serial_exec)
+                  .ok());
+
+  par::ThreadPerTaskRunner runner;
+  par::ParOptions options;
+  options.parallelism = 4;
+  options.runner = &runner;
+  options.min_context = 1;
+  ExecContext par_exec = ExecContext::WithVisitBudget(UINT64_MAX);
+  ASSERT_TRUE(xpath::EvalQueryFromRootParallel(doc, *parsed.value(),
+                                               par_exec, options)
+                  .ok());
+  EXPECT_GE(par_exec.visits_used(), serial_exec.visits_used());
+}
+
+// ---------------------------------------------------------------------------
+// ParseQuery options satellite: max_nesting override and the paper-axes
+// dialect gate, with default behavior bit-identical to the historic parser.
+
+TEST(ParseOptionsTest, DefaultOptionsMatchHistoricParser) {
+  const char* const kTexts[] = {
+      "//a//b",
+      "/a[b and not(c)]/following::b",
+      "//a[",  // parse error: message must match bit for bit
+  };
+  for (const char* text : kTexts) {
+    auto plain = ParseQuery(Language::kXPath, text);
+    auto with_options = ParseQuery(Language::kXPath, text, ParseOptions{});
+    ASSERT_EQ(plain.ok(), with_options.ok()) << text;
+    if (!plain.ok()) {
+      EXPECT_EQ(plain.status().ToString(),
+                with_options.status().ToString())
+          << text;
+    }
+  }
+}
+
+TEST(ParseOptionsTest, MaxNestingOverrideRejectsDeepExpressions) {
+  // 8 nested not(...) qualifiers: fine by default, over a limit of 4.
+  std::string text = "//*[";
+  for (int i = 0; i < 8; ++i) text += "not(";
+  text += "a";
+  for (int i = 0; i < 8; ++i) text += ")";
+  text += "]";
+
+  ASSERT_TRUE(ParseQuery(Language::kXPath, text).ok());
+
+  ParseOptions options;
+  options.max_nesting = 4;
+  auto limited = ParseQuery(Language::kXPath, text, options);
+  ASSERT_FALSE(limited.ok());
+  EXPECT_EQ(limited.status().code(), StatusCode::kParseError);
+  EXPECT_NE(limited.status().ToString().find("nesting"), std::string::npos)
+      << limited.status().ToString();
+  EXPECT_NE(limited.status().ToString().find(" at offset "),
+            std::string::npos)
+      << limited.status().ToString();
+}
+
+TEST(ParseOptionsTest, PaperAxesDialectGate) {
+  // A paper-style relational alias: accepted by default, an "unknown axis"
+  // ParseError when the dialect flag is off.
+  const char* text = "/Child+::a";
+  ASSERT_TRUE(ParseQuery(Language::kXPath, text).ok());
+
+  ParseOptions options;
+  options.xpath_paper_axes = false;
+  auto strict = ParseQuery(Language::kXPath, text, options);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kParseError);
+  EXPECT_NE(strict.status().ToString().find("unknown axis"),
+            std::string::npos)
+      << strict.status().ToString();
+  EXPECT_NE(strict.status().ToString().find(" at offset "),
+            std::string::npos)
+      << strict.status().ToString();
+
+  // Standard names still parse in strict mode.
+  EXPECT_TRUE(
+      ParseQuery(Language::kXPath, "/child::a/descendant::b", options).ok());
+}
+
+}  // namespace
+}  // namespace treeq
