@@ -168,7 +168,8 @@ int main(int argc, char** argv) {
       SubmitOptions opts;
       opts.plan_cache_hit = cache_hits[p];
       futures.push_back(
-          executor.Submit(plans[p], store.Get(name).value(), opts).future);
+          executor.Submit({plans[p], store.Get(name).value(), opts})
+              .future);
     }
   }
 

@@ -1,0 +1,203 @@
+#include "cache/result_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace treeq {
+namespace cache {
+
+namespace {
+
+constexpr size_t kEntryOverheadBytes = 192;
+
+inline uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Approximate payload size of a result: the variant's heap footprint.
+size_t ResultBytes(const QueryResult& result) {
+  size_t bytes = sizeof(QueryResult);
+  if (result.is_nodes()) {
+    bytes += static_cast<size_t>(result.nodes().num_words()) *
+             sizeof(uint64_t);
+  } else if (result.is_tuples()) {
+    for (const std::vector<NodeId>& tuple : result.tuples()) {
+      bytes += sizeof(std::vector<NodeId>) + tuple.size() * sizeof(NodeId);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+size_t ResultKeyHash::operator()(const ResultKey& key) const {
+  uint64_t h = 14695981039346656037ull;
+  for (char c : key.text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  h = Mix(h ^ key.doc_epoch);
+  h = Mix(h ^ (static_cast<uint64_t>(key.language) << 34 |
+               static_cast<uint64_t>(static_cast<uint32_t>(key.max_nesting))
+                   << 1 |
+               (key.xpath_paper_axes ? 1 : 0)));
+  return static_cast<size_t>(h);
+}
+
+ResultCache::ResultCache(const ResultCacheOptions& options)
+    : options_(options),
+      shard_budget_(std::max<size_t>(
+          1, options.max_bytes /
+                 static_cast<size_t>(std::max(1, options.num_shards)))),
+      shard_entries_(std::max<size_t>(
+          1, options.max_entries /
+                 static_cast<size_t>(std::max(1, options.num_shards)))),
+      shards_(static_cast<size_t>(std::max(1, options.num_shards))) {}
+
+ResultCache::Shard& ResultCache::ShardFor(const ResultKey& key) {
+  return shards_[ResultKeyHash{}(key) % shards_.size()];
+}
+
+std::optional<QueryResult> ResultCache::Lookup(const ResultKey& key) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      TREEQ_OBS_INC("cache.result.hits");
+      return it->second->result;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  TREEQ_OBS_INC("cache.result.misses");
+  return std::nullopt;
+}
+
+void ResultCache::Insert(const ResultKey& key, const QueryResult& result) {
+  const size_t entry_bytes = kEntryOverheadBytes + key.text.size() +
+                             ResultBytes(result);
+  if (entry_bytes > shard_budget_) return;
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    shard.lru.push_front(Entry{key, result, entry_bytes});
+    shard.index[key] = shard.lru.begin();
+    shard.bytes += entry_bytes;
+    bytes_.fetch_add(entry_bytes, std::memory_order_relaxed);
+    EvictLocked(&shard);
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  TREEQ_OBS_INC("cache.result.inserts");
+  TREEQ_OBS_HISTOGRAM("cache.result.entry_bytes",
+                      static_cast<uint64_t>(entry_bytes));
+}
+
+void ResultCache::EvictLocked(Shard* shard) {
+  while ((shard->bytes > shard_budget_ ||
+          shard->lru.size() > shard_entries_) &&
+         !shard->lru.empty()) {
+    const Entry& victim = shard->lru.back();
+    shard->bytes -= victim.bytes;
+    bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
+    shard->index.erase(victim.key);
+    shard->lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    TREEQ_OBS_INC("cache.result.evictions");
+  }
+}
+
+void ResultCache::InvalidateDocument(uint64_t epoch) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.doc_epoch == epoch) {
+        shard.bytes -= it->bytes;
+        bytes_.fetch_sub(it->bytes, std::memory_order_relaxed);
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+        TREEQ_OBS_INC("cache.result.invalidated");
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ResultCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    bytes_.fetch_sub(shard.bytes, std::memory_order_relaxed);
+    shard.bytes = 0;
+    shard.lru.clear();
+    shard.index.clear();
+  }
+}
+
+size_t ResultCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+size_t ResultCache::bytes_used() const {
+  return bytes_.load(std::memory_order_relaxed);
+}
+
+std::optional<std::future<Result<QueryResult>>> InflightTable::Join(
+    const ResultKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = flights_.try_emplace(key);
+  if (inserted) {
+    leaders_.fetch_add(1, std::memory_order_relaxed);
+    TREEQ_OBS_INC("cache.singleflight.leaders");
+    return std::nullopt;
+  }
+  it->second.waiters.emplace_back();
+  followers_.fetch_add(1, std::memory_order_relaxed);
+  TREEQ_OBS_INC("cache.singleflight.followers");
+  return it->second.waiters.back().get_future();
+}
+
+void InflightTable::Complete(const ResultKey& key,
+                             const Result<QueryResult>& outcome) {
+  Flight flight;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flights_.find(key);
+    if (it == flights_.end()) return;
+    flight = std::move(it->second);
+    flights_.erase(it);
+  }
+  // Fulfill outside the lock: set_value wakes waiters, and a waiter's
+  // continuation must never run under the table mutex.
+  for (std::promise<Result<QueryResult>>& waiter : flight.waiters) {
+    if (outcome.ok()) {
+      waiter.set_value(outcome.value());
+    } else {
+      waiter.set_value(outcome.status());
+    }
+  }
+}
+
+size_t InflightTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flights_.size();
+}
+
+}  // namespace cache
+}  // namespace treeq

@@ -111,12 +111,18 @@ Result<std::vector<std::vector<NodeId>>> EnumerateSolutions(
 
 Result<TupleSet> EvaluateAcyclic(const ConjunctiveQuery& query,
                                  const Tree& tree, const TreeOrders& orders,
-                                 uint64_t limit, const ExecContext& exec) {
-  // The reducer is O(|Q| * |D|); charge it as a block before running.
+                                 uint64_t limit, const ExecContext& exec,
+                                 const LabelIndex* index,
+                                 AxisImageMemo* memo) {
+  // The reducer is O(|Q| * |D|); charge it as a block before running. The
+  // block charge is kept even when the memo serves some semijoin images —
+  // it prices the sweep's set algebra, which always runs — so a CQ plan's
+  // visit accounting stays deterministic cached or not.
   TREEQ_RETURN_IF_ERROR(exec.Charge(
       1 + static_cast<uint64_t>(tree.num_nodes()) * query.num_vars()));
   TREEQ_ASSIGN_OR_RETURN(ReducedQuery reduced,
-                         FullReducer(query, tree, orders));
+                         FullReducer(query, tree, orders, /*root_var=*/-1,
+                                     index, memo));
   if (!reduced.satisfiable) return TupleSet{};
   TREEQ_ASSIGN_OR_RETURN(
       std::vector<std::vector<NodeId>> solutions,

@@ -34,18 +34,26 @@ Result<std::vector<std::vector<NodeId>>> EnumerateSolutions(
 
 /// Full k-ary acyclic evaluation (Proposition 6.10 without the pointer
 /// refinement): FullReducer + enumeration + head projection, deduplicated.
+/// `index` and `memo` are the FullReducer reuse hooks (cq/yannakakis.h):
+/// cached per-label candidate sets and cross-query memoized semijoin
+/// images; both optional, both result-preserving bit for bit.
 Result<TupleSet> EvaluateAcyclic(const ConjunctiveQuery& query,
                                  const Tree& tree, const TreeOrders& orders,
                                  uint64_t limit = UINT64_MAX,
                                  const ExecContext& exec =
-                                     ExecContext::Unbounded());
+                                     ExecContext::Unbounded(),
+                                 const LabelIndex* index = nullptr,
+                                 AxisImageMemo* memo = nullptr);
 
-/// Document-taking overload (tree/document.h); thin forwarder.
+/// Document-taking overload (tree/document.h); thin forwarder that routes
+/// the label atoms through the document's cached LabelIndex.
 inline Result<TupleSet> EvaluateAcyclic(
     const ConjunctiveQuery& query, const Document& doc,
     uint64_t limit = UINT64_MAX,
-    const ExecContext& exec = ExecContext::Unbounded()) {
-  return EvaluateAcyclic(query, doc.tree(), doc.orders(), limit, exec);
+    const ExecContext& exec = ExecContext::Unbounded(),
+    AxisImageMemo* memo = nullptr) {
+  return EvaluateAcyclic(query, doc.tree(), doc.orders(), limit, exec,
+                         &doc.label_index(), memo);
 }
 
 }  // namespace cq

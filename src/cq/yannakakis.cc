@@ -7,12 +7,24 @@ namespace cq {
 
 namespace {
 
-/// Candidate sets restricted by the unary atoms.
+/// Candidate sets restricted by the unary atoms. With a label index, each
+/// atom is a word-wise intersection with the document's cached per-label
+/// bitmap; without one, the historic O(k * n) arena scan.
 PreValuation LabelRestrictedCandidates(const ConjunctiveQuery& query,
-                                       const Tree& tree) {
+                                       const Tree& tree,
+                                       const LabelIndex* index) {
   const int n = tree.num_nodes();
   PreValuation cand(query.num_vars(), NodeSet::All(n));
   for (const LabelAtom& a : query.label_atoms()) {
+    if (index != nullptr) {
+      const LabelId id = tree.label_table().Lookup(a.label);
+      if (id == kNullLabel) {
+        cand[a.var] = NodeSet(n);  // no node carries an unknown label
+      } else {
+        cand[a.var].IntersectWith(index->Set(id));
+      }
+      continue;
+    }
     for (NodeId v = 0; v < n; ++v) {
       if (cand[a.var].Contains(v) && !tree.HasLabel(v, a.label)) {
         cand[a.var].Erase(v);
@@ -26,7 +38,8 @@ PreValuation LabelRestrictedCandidates(const ConjunctiveQuery& query,
 
 Result<ReducedQuery> FullReducer(const ConjunctiveQuery& query,
                                  const Tree& tree, const TreeOrders& orders,
-                                 int root_var) {
+                                 int root_var, const LabelIndex* index,
+                                 AxisImageMemo* memo) {
   TREEQ_RETURN_IF_ERROR(query.Validate());
   if (!query.IsTreeShaped()) {
     return Status::InvalidArgument(
@@ -71,26 +84,28 @@ Result<ReducedQuery> FullReducer(const ConjunctiveQuery& query,
   }
   TREEQ_CHECK(static_cast<int>(bfs_order.size()) == k);  // connected
 
-  reduced.candidates = LabelRestrictedCandidates(query, tree);
+  reduced.candidates = LabelRestrictedCandidates(query, tree, index);
 
   // Bottom-up pass (the Yannakakis semijoin sweep toward the root): each
   // parent keeps only values with a partner in every child's candidate set.
+  // Both sweeps route through AxisImageMemoized, so with a memo attached
+  // repeated twigs over one document reuse each other's semijoin images.
   NodeSet image(n);
   for (int i = k - 1; i >= 1; --i) {
     int v = bfs_order[i];
     int p = reduced.parent_var[v];
     // p -- axis --> v; keep u in cand[p] iff exists w in cand[v] with
     // axis(u, w), i.e. u in image of cand[v] under axis^-1.
-    AxisImage(tree, orders, InverseAxis(reduced.parent_axis[v]),
-              reduced.candidates[v], &image);
+    AxisImageMemoized(tree, orders, InverseAxis(reduced.parent_axis[v]),
+                      reduced.candidates[v], &image, memo);
     reduced.candidates[p].IntersectWith(image);
   }
   // Top-down pass: children keep only values reachable from the parent.
   for (int i = 1; i < k; ++i) {
     int v = bfs_order[i];
     int p = reduced.parent_var[v];
-    AxisImage(tree, orders, reduced.parent_axis[v], reduced.candidates[p],
-              &image);
+    AxisImageMemoized(tree, orders, reduced.parent_axis[v],
+                      reduced.candidates[p], &image, memo);
     reduced.candidates[v].IntersectWith(image);
   }
 

@@ -3,6 +3,8 @@
 
 #include "cq/arc_consistency.h"
 #include "cq/ast.h"
+#include "tree/axes.h"
+#include "tree/label_index.h"
 #include "tree/orders.h"
 #include "util/status.h"
 
@@ -39,9 +41,19 @@ struct ReducedQuery {
 /// — not set-level — reduction and are rejected). `root_var` selects the
 /// rooting; pass -1 for variable 0, or a head variable so unary results can
 /// be read from the root's candidate set.
+///
+/// Cross-query reuse hooks (both optional, both preserving bit-identical
+/// candidate sets): `index`, when set, seeds the label-restricted
+/// candidate sets from the document's cached per-label NodeSets
+/// (tree/label_index.h) — one word-wise intersection per label atom
+/// instead of an O(n) arena scan — and `memo` (tree/axes.h) memoizes the
+/// axis images of the bottom-up and top-down semijoin sweeps, so repeated
+/// twigs over one document reuse each other's reductions.
 Result<ReducedQuery> FullReducer(const ConjunctiveQuery& query,
                                  const Tree& tree, const TreeOrders& orders,
-                                 int root_var = -1);
+                                 int root_var = -1,
+                                 const LabelIndex* index = nullptr,
+                                 AxisImageMemo* memo = nullptr);
 
 /// Boolean acyclic evaluation in O(||A|| * |Q|) (Theorem 4.1's tree case).
 Result<bool> EvaluateBooleanAcyclic(const ConjunctiveQuery& query,

@@ -20,6 +20,25 @@ Result<DocumentPtr> DocumentStore::Add(std::string_view name, Tree tree) {
   return doc;
 }
 
+Result<DocumentPtr> DocumentStore::Replace(std::string_view name,
+                                           Tree tree) {
+  DocumentPtr doc = MakeDocumentWithOrders(std::move(tree),
+                                           std::string(name));
+  uint64_t old_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = docs_.find(name);
+    if (it == docs_.end()) {
+      return Status::NotFound("no document named: " + std::string(name));
+    }
+    old_epoch = it->second->epoch();
+    it->second = doc;
+  }
+  TREEQ_OBS_INC("engine.store.documents_replaced");
+  NotifyEviction(old_epoch);
+  return doc;
+}
+
 Result<DocumentPtr> DocumentStore::Get(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = docs_.find(name);
@@ -30,13 +49,33 @@ Result<DocumentPtr> DocumentStore::Get(std::string_view name) const {
 }
 
 Status DocumentStore::Remove(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = docs_.find(name);
-  if (it == docs_.end()) {
-    return Status::NotFound("no document named: " + std::string(name));
+  uint64_t old_epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = docs_.find(name);
+    if (it == docs_.end()) {
+      return Status::NotFound("no document named: " + std::string(name));
+    }
+    old_epoch = it->second->epoch();
+    docs_.erase(it);
   }
-  docs_.erase(it);
+  NotifyEviction(old_epoch);
   return Status::OK();
+}
+
+void DocumentStore::AddEvictionListener(EvictionListener fn) {
+  if (fn == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.push_back(std::move(fn));
+}
+
+void DocumentStore::NotifyEviction(uint64_t epoch) {
+  std::vector<EvictionListener> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    listeners = listeners_;
+  }
+  for (const EvictionListener& fn : listeners) fn(epoch);
 }
 
 std::vector<std::string> DocumentStore::Names() const {

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <unordered_set>
 #include <utility>
 
 #include "obs/obs.h"
@@ -41,7 +42,8 @@ void CountRequestLanguage(Language language) {
 Result<QueryResult> RunOne(const PlanPtr& plan, const DocumentPtr& doc,
                            const ExecContextPtr& context,
                            bool allow_degraded, int parallelism,
-                           par::TaskRunner* runner) {
+                           par::TaskRunner* runner,
+                           cache::EvalCache* eval_cache) {
   if (plan == nullptr) {
     return Status::InvalidArgument("null plan submitted");
   }
@@ -55,9 +57,37 @@ Result<QueryResult> RunOne(const PlanPtr& plan, const DocumentPtr& doc,
     options.parallelism = parallelism;
     options.runner = runner;
   }
+  // Bind the cross-query memo to this document's epoch for the duration of
+  // the evaluation; the memo object itself is stateless and cheap.
+  std::optional<cache::EvalCache::Memo> memo;
+  if (eval_cache != nullptr) {
+    memo.emplace(eval_cache, doc->epoch());
+    options.axis_memo = &*memo;
+  }
   const ExecContext& exec =
       context != nullptr ? *context : ExecContext::Unbounded();
   return plan->Execute(*doc, exec, options);
+}
+
+/// A request qualifies for result-cache service and singleflight collapse
+/// only when nothing about it is per-request: no deadline, no budgets, no
+/// bypass. Bounded requests must pay (and be limited by) their own
+/// execution.
+bool CacheEligible(const SubmitOptions& options) {
+  return !options.bypass_cache &&
+         options.timeout == std::chrono::nanoseconds::zero() &&
+         options.visit_budget == UINT64_MAX &&
+         options.memory_budget == UINT64_MAX;
+}
+
+cache::ResultKey MakeResultKey(const Plan& plan, uint64_t doc_epoch) {
+  cache::ResultKey key;
+  key.doc_epoch = doc_epoch;
+  key.language = plan.language();
+  key.max_nesting = plan.parse_options().max_nesting;
+  key.xpath_paper_axes = plan.parse_options().xpath_paper_axes;
+  key.text = plan.text();
+  return key;
 }
 
 }  // namespace
@@ -65,7 +95,10 @@ Result<QueryResult> RunOne(const PlanPtr& plan, const DocumentPtr& doc,
 Executor::Executor() : Executor(Options()) {}
 
 Executor::Executor(const Options& options)
-    : queue_(std::max<size_t>(1, options.queue_capacity)) {
+    : queue_(std::max<size_t>(1, options.queue_capacity)),
+      eval_cache_(options.eval_cache),
+      result_cache_(options.result_cache),
+      singleflight_(options.singleflight) {
   int n = options.num_workers;
   if (n <= 0) {
     n = static_cast<int>(std::thread::hardware_concurrency());
@@ -95,12 +128,17 @@ void Executor::Shutdown() {
 par::TaskRunner& Executor::task_runner() { return group_runner_; }
 
 Submission Executor::Submit(QueryRequest request) {
+  return SubmitWithCollapse(std::move(request), singleflight_);
+}
+
+Submission Executor::SubmitWithCollapse(QueryRequest request, bool collapse) {
   const SubmitOptions& options = request.options;
   Task task;
   task.plan = std::move(request.plan);
   task.document = std::move(request.document);
   task.allow_degraded = options.allow_degraded;
   task.parallelism = options.parallelism;
+  task.bypass_cache = options.bypass_cache;
   task.cache_hit = options.plan_cache_hit;
   ExecContext::Limits limits;
   if (options.timeout > std::chrono::nanoseconds::zero()) {
@@ -109,26 +147,61 @@ Submission Executor::Submit(QueryRequest request) {
   limits.visit_budget = options.visit_budget;
   limits.memory_budget = options.memory_budget;
   task.context = std::make_shared<ExecContext>(limits);
+
+  const bool reusable = task.plan != nullptr && task.document != nullptr &&
+                        (result_cache_ != nullptr || collapse) &&
+                        CacheEligible(options);
+  if (reusable) {
+    cache::ResultKey key =
+        MakeResultKey(*task.plan, task.document->epoch());
+    if (result_cache_ != nullptr) {
+      if (std::optional<QueryResult> hit = result_cache_->Lookup(key)) {
+        // Served on the submitting thread: no queue, no worker. Charge the
+        // lookup (one unit) — the saved execution was not paid for.
+        (void)task.context->Charge(1);
+#ifndef TREEQ_OBS_DISABLED
+        if (obs::FlightRecorder::Global().enabled()) {
+          const Plan& plan = *task.plan;
+          obs::QueryProfile profile;
+          profile.id = obs::NextQueryId();
+          profile.language = LanguageName(plan.language());
+          profile.query_hash = obs::HashQueryText(plan.text());
+          profile.query = plan.text().substr(0, obs::kMaxQueryChars);
+          profile.document = task.document->name();
+          profile.engine = "cache.result";
+          profile.explain = plan.Explain();
+          profile.cache_hit = task.cache_hit;
+          profile.result_cache_hit = true;
+          profile.visits = 1;
+          profile.estimated_visits =
+              plan.EstimatedVisits(*task.document);
+          TREEQ_OBS_FLIGHT_RECORD(std::move(profile));
+        }
+#endif
+        Submission submission;
+        submission.context = task.context;
+        std::promise<Result<QueryResult>> ready;
+        submission.future = ready.get_future();
+        ready.set_value(*std::move(hit));
+        return submission;
+      }
+    }
+    if (collapse) {
+      if (std::optional<std::future<Result<QueryResult>>> follower =
+              inflight_.Join(key)) {
+        // Collapsed into the in-flight leader's execution; this request's
+        // context is returned but unused (Cancel() on a follower does not
+        // cancel the shared leader).
+        Submission submission;
+        submission.context = task.context;
+        submission.future = *std::move(follower);
+        return submission;
+      }
+      task.flight_leader = true;
+    }
+    task.result_key = std::move(key);
+  }
   return SubmitTask(std::move(task), options.reject_when_full);
-}
-
-std::future<Result<QueryResult>> Executor::Submit(PlanPtr plan,
-                                                  DocumentPtr document) {
-  // Unbounded fast path kept distinct from Submit(QueryRequest): no
-  // ExecContext is allocated, matching the historic behavior exactly.
-  Task task;
-  task.plan = std::move(plan);
-  task.document = std::move(document);
-  return SubmitTask(std::move(task), /*reject_when_full=*/false).future;
-}
-
-Submission Executor::Submit(PlanPtr plan, DocumentPtr document,
-                            const SubmitOptions& options) {
-  QueryRequest request;
-  request.plan = std::move(plan);
-  request.document = std::move(document);
-  request.options = options;
-  return Submit(std::move(request));
 }
 
 Submission Executor::SubmitTask(Task task, bool reject_when_full) {
@@ -146,6 +219,11 @@ Submission Executor::SubmitTask(Task task, bool reject_when_full) {
   task.profile_id = obs::NextQueryId();
 #endif
   TREEQ_OBS_INC("engine.exec.submitted");
+  // If this task is a singleflight leader, its key must survive the move
+  // below: a rejected leader still owes the in-flight table a Complete, or
+  // collapsed followers would wait forever.
+  std::optional<cache::ResultKey> flight_key;
+  if (task.flight_leader) flight_key = task.result_key;
   WorkItem item;
   item.request.emplace(std::move(task));
   bool accepted;
@@ -162,12 +240,42 @@ Submission Executor::SubmitTask(Task task, bool reject_when_full) {
     // a TryPush can lose to either.
     const bool down = shutdown_.load(std::memory_order_acquire);
     if (!down) TREEQ_OBS_INC("engine.rejected");
+    Status status = Status::Unavailable(
+        down ? "executor is shut down" : "executor queue is full");
+    if (flight_key.has_value()) {
+      inflight_.Complete(*flight_key, status);
+    }
     std::promise<Result<QueryResult>> failed;
     submission.future = failed.get_future();
-    failed.set_value(Status::Unavailable(
-        down ? "executor is shut down" : "executor queue is full"));
+    failed.set_value(std::move(status));
   }
   return submission;
+}
+
+std::vector<Submission> Executor::SubmitBatch(
+    std::span<QueryRequest> requests) {
+  // Warm each distinct document once on the submitting thread, so N
+  // requests against the same document race on nothing: the label index is
+  // built (or found already built) exactly here. With an eval cache
+  // attached, the first executed request then populates axis images the
+  // rest of the group reuses.
+  std::unordered_set<const Document*> warmed;
+  for (const QueryRequest& request : requests) {
+    if (request.document == nullptr) continue;
+    if (warmed.insert(request.document.get()).second) {
+      (void)request.document->label_index();
+    }
+  }
+  // Collapse identical eligible requests within the batch regardless of
+  // the executor-wide singleflight flag: the first of each key leads, the
+  // rest follow its outcome.
+  std::vector<Submission> submissions;
+  submissions.reserve(requests.size());
+  for (QueryRequest& request : requests) {
+    submissions.push_back(
+        SubmitWithCollapse(std::move(request), /*collapse=*/true));
+  }
+  return submissions;
 }
 
 std::vector<Result<QueryResult>> Executor::RunBatch(
@@ -175,7 +283,10 @@ std::vector<Result<QueryResult>> Executor::RunBatch(
   std::vector<std::future<Result<QueryResult>>> futures;
   futures.reserve(requests.size());
   for (Request& r : requests) {
-    futures.push_back(Submit(std::move(r.plan), std::move(r.document)));
+    QueryRequest request;
+    request.plan = std::move(r.plan);
+    request.document = std::move(r.document);
+    futures.push_back(Submit(std::move(request)).future);
   }
   std::vector<Result<QueryResult>> results;
   results.reserve(futures.size());
@@ -196,6 +307,8 @@ void Executor::WorkerLoop() {
       obs::StatsRegistry::Global().GetCounter("axes.words_scanned");
   obs::Counter* const label_hits =
       obs::StatsRegistry::Global().GetCounter("labelindex.hits");
+  obs::Counter* const eval_hits =
+      obs::StatsRegistry::Global().GetCounter("cache.eval.hits");
 #endif
   while (std::optional<WorkItem> item = queue_.Pop()) {
     if (item->is_child()) {
@@ -220,6 +333,8 @@ void Executor::WorkerLoop() {
         profiling ? shadow.BufferedDelta(words_scanned) : 0;
     const uint64_t labels_before =
         profiling ? shadow.BufferedDelta(label_hits) : 0;
+    const uint64_t eval_hits_before =
+        profiling ? shadow.BufferedDelta(eval_hits) : 0;
     uint64_t queue_wait_ns = 0;
     if (task->enqueue_ns != 0) {
       const uint64_t dequeue_ns = static_cast<uint64_t>(
@@ -233,7 +348,15 @@ void Executor::WorkerLoop() {
 #endif
     Result<QueryResult> result =
         RunOne(task->plan, task->document, task->context,
-               task->allow_degraded, task->parallelism, &group_runner_);
+               task->allow_degraded, task->parallelism, &group_runner_,
+               task->bypass_cache ? nullptr : eval_cache_);
+    // Publish a reusable outcome before anyone can observe the future: ok
+    // and non-degraded only, so a cache hit is bit-identical to the
+    // uncached evaluation it replays.
+    if (task->result_key.has_value() && result_cache_ != nullptr &&
+        result.ok() && !result.value().degraded) {
+      result_cache_->Insert(*task->result_key, result.value());
+    }
     auto elapsed_ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start)
@@ -276,6 +399,8 @@ void Executor::WorkerLoop() {
           shadow.BufferedDelta(words_scanned) - words_before;
       profile.label_index_hits =
           shadow.BufferedDelta(label_hits) - labels_before;
+      profile.eval_cache_hits =
+          shadow.BufferedDelta(eval_hits) - eval_hits_before;
       profile.estimated_visits = plan.EstimatedVisits(*task->document);
       // Record before the flush + set_value below: once the caller sees
       // the future ready, the profile is visible in the recorder.
@@ -283,8 +408,13 @@ void Executor::WorkerLoop() {
     }
 #endif
     // Merge this request's counter deltas before the caller can observe
-    // the future: "future ready" implies "stats visible".
+    // the future: "future ready" implies "stats visible". The flight fans
+    // out after the flush for the same reason — a follower's future ready
+    // implies the leader's stats are visible too.
     shadow.Flush();
+    if (task->flight_leader) {
+      inflight_.Complete(*task->result_key, result);
+    }
     task->promise.set_value(std::move(result));
   }
 }

@@ -8,9 +8,12 @@
 #include <future>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "cache/eval_cache.h"
+#include "cache/result_cache.h"
 #include "engine/mpmc_queue.h"
 #include "engine/plan.h"
 #include "engine/task_group.h"
@@ -45,6 +48,26 @@
 /// (util/exec_context.h) carrying the request's deadline and budgets; the
 /// returned Submission exposes Cancel(), and the worker threads the context
 /// through Plan::Run so evaluation aborts cooperatively.
+///
+/// Cross-query reuse (Options::eval_cache / result_cache / singleflight;
+/// all off by default — a default-constructed Executor behaves exactly as
+/// before):
+///   - With a result cache, an *unbounded* request (no timeout, no visit
+///     or memory budget, bypass_cache unset) whose (doc epoch, dialect,
+///     text) key is resident returns an already-ready future from the
+///     Submit call itself — it never touches the worker queue, and its
+///     context is charged 1 unit (the lookup), not the saved work. Only
+///     ok, non-degraded results are ever inserted.
+///   - With singleflight on, concurrent identical unbounded Submits
+///     collapse: the first becomes the leader and executes; the rest get
+///     futures fulfilled with copies of the leader's outcome — including
+///     its error or cancellation, which followers share by design.
+///   - With an eval cache, every executed request (bounded or not, unless
+///     bypass_cache) evaluates under an axis-image memo bound to its
+///     document's epoch, reusing AxisImage results across queries.
+/// Bounded requests are never served from (or collapsed into) the result
+/// cache, so their deadline/budget/cancel semantics stay exactly
+/// per-request.
 
 namespace treeq {
 namespace engine {
@@ -81,6 +104,10 @@ struct SubmitOptions {
   /// steps across that many subtree partitions, run as child tasks on
   /// this same worker pool (engine/task_group.h).
   int parallelism = 0;
+  /// Opt this request out of every cache layer: no result-cache lookup or
+  /// insert, no singleflight collapse, no eval-cache memo. For requests
+  /// that must observe a fresh evaluation (and for the bench's cold path).
+  bool bypass_cache = false;
 };
 
 /// One Submit call as a value: the plan, the document, and the per-request
@@ -113,6 +140,17 @@ class Executor {
     int num_workers = 0;
     /// Max queued (not yet started) requests before Submit blocks.
     size_t queue_capacity = 256;
+    /// Cross-query axis-image memo (cache/eval_cache.h). Borrowed, not
+    /// owned; must outlive the executor. Null = no eval caching.
+    cache::EvalCache* eval_cache = nullptr;
+    /// Whole-query result cache (cache/result_cache.h). Borrowed, not
+    /// owned; must outlive the executor. Null = no result caching.
+    cache::ResultCache* result_cache = nullptr;
+    /// Collapse concurrent identical unbounded Submits into one execution
+    /// (see the file comment). Requires nothing besides itself — it works
+    /// with or without a result cache — but only takes effect for
+    /// cache-eligible (unbounded, non-bypass) requests.
+    bool singleflight = false;
   };
 
   /// Default options: one worker per hardware thread, queue of 256.
@@ -132,15 +170,18 @@ class Executor {
   /// is an already-failed Unavailable future.
   Submission Submit(QueryRequest request);
 
-  /// Deprecated positional wrapper over Submit(QueryRequest): unbounded,
-  /// serial, blocks while the queue is full. Prefer the QueryRequest
-  /// overload.
-  std::future<Result<QueryResult>> Submit(PlanPtr plan, DocumentPtr document);
-
-  /// Deprecated positional wrapper over Submit(QueryRequest). Prefer the
-  /// QueryRequest overload.
-  Submission Submit(PlanPtr plan, DocumentPtr document,
-                    const SubmitOptions& options);
+  /// Batched front door: submits every request and returns one Submission
+  /// per request, in request order. Beyond N Submit calls, the batch
+  /// - warms each distinct document once (label index; plus, with an eval
+  ///   cache attached, the axis-image memo the requests then share), and
+  /// - dedupes identical work WITHIN the batch: cache-eligible requests
+  ///   with the same (document epoch, dialect, text) collapse into one
+  ///   execution via the in-flight table, whether or not the executor-wide
+  ///   singleflight flag is set.
+  /// Per-request SubmitOptions (deadline, budgets, cancellation,
+  /// bypass_cache) are honored individually: bounded requests never
+  /// collapse and execute under their own contexts.
+  std::vector<Submission> SubmitBatch(std::span<QueryRequest> requests);
 
   /// Submits every request, then waits for all of them. Results are in
   /// request order.
@@ -168,6 +209,13 @@ class Executor {
     ExecContextPtr context;  // null = unbounded
     bool allow_degraded = false;
     int parallelism = 0;
+    bool bypass_cache = false;
+    /// Set for cache-eligible requests that missed the result cache: the
+    /// worker inserts the finished result under this key, and — when
+    /// `flight_leader` — completes the in-flight table entry, fanning the
+    /// outcome out to collapsed followers.
+    std::optional<cache::ResultKey> result_key;
+    bool flight_leader = false;
     /// Profile metadata stamped at Submit (obs-enabled builds; zero
     /// otherwise): steady-clock enqueue time for the queue-wait histogram,
     /// the process-unique query id, and the caller's plan-cache verdict.
@@ -188,6 +236,9 @@ class Executor {
     bool is_child() const { return !request.has_value(); }
   };
 
+  /// Submit with an explicit collapse policy (Submit uses the executor's
+  /// singleflight flag; SubmitBatch forces collapsing within the batch).
+  Submission SubmitWithCollapse(QueryRequest request, bool collapse);
   Submission SubmitTask(Task task, bool reject_when_full);
   void WorkerLoop();
 
@@ -204,6 +255,11 @@ class Executor {
   std::atomic<bool> shutdown_{false};
   std::mutex join_mu_;
   std::vector<std::thread> workers_;
+  /// Cache wiring (Options; borrowed pointers, null = feature off).
+  cache::EvalCache* const eval_cache_ = nullptr;
+  cache::ResultCache* const result_cache_ = nullptr;
+  const bool singleflight_ = false;
+  cache::InflightTable inflight_;
 };
 
 }  // namespace engine

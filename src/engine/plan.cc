@@ -35,13 +35,20 @@ uint64_t QuerySize(const ParsedQuery& query) {
 }  // namespace
 
 Result<PlanPtr> Plan::Compile(Language language, std::string_view text) {
+  return Compile(language, text, ParseOptions{});
+}
+
+Result<PlanPtr> Plan::Compile(Language language, std::string_view text,
+                              const ParseOptions& parse_options) {
   TREEQ_OBS_SPAN("engine.plan.compile");
   TREEQ_OBS_INC("engine.plan.compiles");
   const auto compile_start = std::chrono::steady_clock::now();
-  TREEQ_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(language, text));
+  TREEQ_ASSIGN_OR_RETURN(ParsedQuery parsed,
+                         ParseQuery(language, text, parse_options));
 
   auto plan = std::shared_ptr<Plan>(new Plan());
   plan->text_ = std::string(text);
+  plan->parse_options_ = parse_options;
   plan->query_ = std::move(parsed);
 
   switch (language) {
@@ -222,7 +229,8 @@ Result<QueryResult> Plan::Execute(const Document& doc,
         return out;
       }
       TREEQ_ASSIGN_OR_RETURN(
-          NodeSet nodes, xpath::EvalQueryFromRoot(doc, *query_.xpath, exec));
+          NodeSet nodes, xpath::EvalQueryFromRoot(doc, *query_.xpath, exec,
+                                                  options.axis_memo));
       out.value.emplace<NodeSet>(std::move(nodes));
       return out;
     }
@@ -249,7 +257,8 @@ Result<QueryResult> Plan::Execute(const Document& doc,
       }
       TREEQ_ASSIGN_OR_RETURN(
           TupleSet tuples,
-          cq::EvaluateAcyclic(*query_.cq, doc, UINT64_MAX, exec));
+          cq::EvaluateAcyclic(*query_.cq, doc, UINT64_MAX, exec,
+                              options.axis_memo));
       out.value.emplace<TupleSet>(std::move(tuples));
       return out;
     }

@@ -71,16 +71,34 @@ struct ExecuteOptions {
   /// Per-step floor: axis steps whose context set is smaller than this
   /// stay serial inside a parallel run (par::ParOptions::min_context).
   int parallel_min_context = 1024;
+
+  /// Cross-query axis-image memo (tree/axes.h; in practice a
+  /// cache::EvalCache::Memo bound to the document's epoch). When set, the
+  /// serial XPath route and the k-ary CQ semijoin sweeps consult it per
+  /// axis step and store fresh images back — results stay bit-identical;
+  /// memo hits charge the cheap lookup instead of the saved kernel work.
+  /// The parallel XPath route ignores it (per-partition charge shares and
+  /// whole-set memo entries don't compose).
+  AxisImageMemo* axis_memo = nullptr;
 };
 
 class Plan {
  public:
   /// Parses and validates `text` once. On success the plan is ready for
-  /// concurrent Run() calls.
+  /// concurrent Run() calls. The two-argument form compiles under default
+  /// ParseOptions; the three-argument form pins the parse dialect, which
+  /// the plan remembers (parse_options()) so caches can key on it.
   static Result<PlanPtr> Compile(Language language, std::string_view text);
+  static Result<PlanPtr> Compile(Language language, std::string_view text,
+                                 const ParseOptions& options);
 
   Language language() const { return query_.language; }
   const std::string& text() const { return text_; }
+
+  /// The dialect options this plan was compiled under. Part of the plan's
+  /// identity: the same text can parse differently under different
+  /// options, so PlanCache and the result cache key on these too.
+  const ParseOptions& parse_options() const { return parse_options_; }
 
   /// Evaluates the plan on `doc` with the language's production evaluator:
   /// set-at-a-time XPath, TMNF datalog pipeline, dichotomy-routed CQ,
@@ -143,6 +161,7 @@ class Plan {
   bool PredictsBlowup(const Document& doc, const ExecContext& exec) const;
 
   std::string text_;
+  ParseOptions parse_options_;
   ParsedQuery query_;
   std::string explain_;
   uint64_t compile_ns_ = 0;

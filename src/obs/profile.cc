@@ -14,6 +14,7 @@ void QueryProfile::WriteJson(std::ostream& os) const {
      << JsonEscape(document) << "\", \"engine\": \"" << JsonEscape(engine)
      << "\", \"explain\": \"" << JsonEscape(explain)
      << "\", \"cache_hit\": " << (cache_hit ? "true" : "false")
+     << ", \"result_cache_hit\": " << (result_cache_hit ? "true" : "false")
      << ", \"degraded\": " << (degraded ? "true" : "false")
      << ", \"ok\": " << (ok ? "true" : "false") << ", \"status\": \""
      << JsonEscape(status) << "\", \"queue_wait_ns\": " << queue_wait_ns
@@ -25,6 +26,7 @@ void QueryProfile::WriteJson(std::ostream& os) const {
      << ", \"total_ns\": " << total_ns() << ", \"visits\": " << visits
      << ", \"words_scanned\": " << words_scanned
      << ", \"label_index_hits\": " << label_index_hits
+     << ", \"eval_cache_hits\": " << eval_cache_hits
      << ", \"estimated_visits\": " << estimated_visits << "}";
 }
 

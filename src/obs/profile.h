@@ -51,6 +51,9 @@ struct QueryProfile {
 
   /// True when the plan came from a PlanCache hit (compile_ns is then 0).
   bool cache_hit = false;
+  /// True when the whole result came from the ResultCache: the request
+  /// never touched the worker queue and `engine` reads "cache.result".
+  bool result_cache_hit = false;
   /// True when bounded execution degraded to the streaming fallback.
   bool degraded = false;
   bool ok = true;
@@ -74,6 +77,7 @@ struct QueryProfile {
   uint64_t visits = 0;            // ExecContext charge units spent
   uint64_t words_scanned = 0;     // axes.words_scanned delta
   uint64_t label_index_hits = 0;  // labelindex.hits delta
+  uint64_t eval_cache_hits = 0;   // cache.eval.hits delta (axis memo)
   /// Plan::EstimatedVisits(doc) — what the degradation classifier saw.
   uint64_t estimated_visits = 0;
 

@@ -439,6 +439,14 @@ void AxisImage(const Tree& tree, const TreeOrders& orders, Axis axis,
   TREEQ_CHECK(false);
 }
 
+bool AxisImageMemoized(const Tree& tree, const TreeOrders& orders, Axis axis,
+                       const NodeSet& from, NodeSet* to, AxisImageMemo* memo) {
+  if (memo != nullptr && memo->Lookup(axis, from, to)) return true;
+  AxisImage(tree, orders, axis, from, to);
+  if (memo != nullptr) memo->Store(axis, from, *to);
+  return false;
+}
+
 std::vector<std::pair<NodeId, NodeId>> MaterializeAxis(
     const Tree& tree, const TreeOrders& orders, Axis axis) {
   std::vector<std::pair<NodeId, NodeId>> out;

@@ -81,6 +81,27 @@ bool AxisHolds(const Tree& tree, const TreeOrders& orders, Axis axis, NodeId u,
 void AxisImage(const Tree& tree, const TreeOrders& orders, Axis axis,
                const NodeSet& from, NodeSet* to);
 
+/// Memoization seam for AxisImage. The cache layer (src/cache/eval_cache.h)
+/// implements this against a per-document, epoch-keyed store; the tree and
+/// evaluator layers only ever see the abstract interface, so they carry no
+/// cache dependency. Implementations must be safe for concurrent calls and
+/// must return results bit-identical to AxisImage — Lookup either leaves
+/// `*to` untouched (miss, returns false) or fully overwrites it with the
+/// stored image (hit, returns true).
+class AxisImageMemo {
+ public:
+  virtual ~AxisImageMemo() = default;
+  virtual bool Lookup(Axis axis, const NodeSet& from, NodeSet* to) = 0;
+  virtual void Store(Axis axis, const NodeSet& from, const NodeSet& to) = 0;
+};
+
+/// AxisImage through an optional memo: serves `*to` from `memo` when it
+/// holds this (axis, from) image, otherwise computes it and stores it back.
+/// Returns true when the image came from the memo. A null memo degenerates
+/// to plain AxisImage.
+bool AxisImageMemoized(const Tree& tree, const TreeOrders& orders, Axis axis,
+                       const NodeSet& from, NodeSet* to, AxisImageMemo* memo);
+
 /// All pairs (u, v) with Axis(u, v), in lexicographic (u, v) order. O(n^2)
 /// materialization — intended for tests, XASR-style storage, and small
 /// structures (this is exactly the quadratic blowup Section 2 warns about).

@@ -27,6 +27,17 @@
 
 namespace treeq {
 
+/// Process-wide monotonic document epoch (starts at 1). Every Document gets
+/// a fresh epoch at construction, so replacing a document — the store drops
+/// the old handle and registers a new Document for the same name — changes
+/// the epoch observed by cache keys. A stale cache entry keyed by the old
+/// epoch is simply unreachable; no cross-thread invalidation handshake is
+/// needed on the read path.
+inline uint64_t NextDocumentEpoch() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 class Document {
  public:
   /// Takes ownership of `tree`; orders are computed on first orders() call.
@@ -53,6 +64,13 @@ class Document {
 
   /// Display name; empty for anonymous documents.
   const std::string& name() const { return name_; }
+
+  /// Process-unique version stamp assigned at construction (see
+  /// NextDocumentEpoch). The treeq::cache layer keys cached axis images and
+  /// whole-query results on it: two Documents never share an epoch, so a
+  /// cache entry can only ever be served for the exact tree it was computed
+  /// on.
+  uint64_t epoch() const { return epoch_; }
 
   /// The three total orders, depth and subtree sizes (tree/orders.h).
   /// Computed at most once; concurrent first calls are safe.
@@ -111,6 +129,7 @@ class Document {
  private:
   Tree tree_;
   std::string name_;
+  const uint64_t epoch_ = NextDocumentEpoch();
   mutable std::once_flag once_;
   mutable TreeOrders orders_;
   mutable std::atomic<bool> computed_{false};

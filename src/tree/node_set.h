@@ -114,6 +114,11 @@ class NodeSet {
   /// the kernel microbenchmarks).
   int num_words() const { return static_cast<int>(words_.size()); }
 
+  /// Read-only view of the backing words (tail bits beyond universe() are
+  /// guaranteed zero). The evaluation cache fingerprints sets from this
+  /// view instead of re-enumerating members bit by bit.
+  const std::vector<uint64_t>& words() const { return words_; }
+
  private:
   static int NumWordsFor(int universe) { return (universe + 63) / 64; }
   static size_t WordOf(NodeId n) { return static_cast<size_t>(n) >> 6; }

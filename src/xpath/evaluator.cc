@@ -31,6 +31,11 @@ struct EvalCtx {
   const TreePartition* partition = nullptr;
   const par::ParOptions* par = nullptr;
   par::ParStats* pstats = nullptr;
+  // Cross-query axis-image memo (tree/axes.h); serial evaluations consult
+  // it per step. Mutually exclusive with the parallel route above — the
+  // parallel kernels charge per-partition shares that a memo hit would
+  // skip, so parallel runs stay unmemoized.
+  AxisImageMemo* memo = nullptr;
 };
 
 /// One axis-image step: the serial kernel with the serial charge schedule
@@ -49,6 +54,20 @@ bool StepImage(const EvalCtx& ctx, Axis axis, const NodeSet& from,
     }
     return true;
   }
+  if (ctx.memo != nullptr && ctx.memo->Lookup(axis, from, to)) {
+    // A memo hit charges the lookup actually paid — one op plus the words
+    // fingerprinted — not the O(|from|) kernel work it saved. Budgets
+    // meter real cost, so a hit must not burn budget for skipped work.
+    if (ctx.exec != nullptr) {
+      Status s =
+          ctx.exec->Charge(1 + static_cast<uint64_t>(from.num_words()));
+      if (!s.ok()) {
+        *ctx.abort = std::move(s);
+        return false;
+      }
+    }
+    return true;
+  }
   if (ctx.exec != nullptr) {
     Status s = ctx.exec->Charge(1 + static_cast<uint64_t>(from.size()));
     if (!s.ok()) {
@@ -57,6 +76,7 @@ bool StepImage(const EvalCtx& ctx, Axis axis, const NodeSet& from,
     }
   }
   AxisImage(ctx.tree, ctx.orders, axis, from, to);
+  if (ctx.memo != nullptr) ctx.memo->Store(axis, from, *to);
   return true;
 }
 
@@ -269,6 +289,19 @@ Result<NodeSet> EvalQueryFromRoot(const Tree& tree, const TreeOrders& orders,
   EvalCtx ctx{tree, orders, nullptr, &exec, &abort};
   NodeSet out = EvalPathCtx(
       ctx, path, NodeSet::Singleton(tree.num_nodes(), tree.root()));
+  if (!abort.ok()) return abort;
+  return out;
+}
+
+Result<NodeSet> EvalQueryFromRoot(const Document& doc, const PathExpr& path,
+                                  const ExecContext& exec,
+                                  AxisImageMemo* memo) {
+  TREEQ_OBS_SPAN("xpath.eval");
+  Status abort;
+  EvalCtx ctx{doc.tree(), doc.orders(), &doc.label_index(), &exec, &abort};
+  ctx.memo = memo;
+  NodeSet out = EvalPathCtx(
+      ctx, path, NodeSet::Singleton(doc.num_nodes(), doc.tree().root()));
   if (!abort.ok()) return abort;
   return out;
 }

@@ -67,6 +67,18 @@ Result<NodeSet> EvalQueryFromRoot(const Tree& tree, const TreeOrders& orders,
                                   const PathExpr& path,
                                   const ExecContext& exec);
 
+/// Memoized variant: every axis-image step — forward steps and the inverse
+/// steps of qualifier paths alike — first consults `memo` (tree/axes.h; in
+/// practice a cache::EvalCache::Memo bound to this document's epoch) and
+/// stores its freshly computed image back on a miss. The result is
+/// bit-identical to the unmemoized evaluation; only the charge schedule
+/// differs on hits, which charge the O(words) lookup (1 + |from| words)
+/// instead of the saved O(|from|) kernel work. A null memo degenerates to
+/// EvalQueryFromRoot(doc, path, exec) exactly.
+Result<NodeSet> EvalQueryFromRoot(const Document& doc, const PathExpr& path,
+                                  const ExecContext& exec,
+                                  AxisImageMemo* memo);
+
 /// Partition-parallel variant: identical result (bit-identical NodeSet) and
 /// abort semantics, but each axis-image step whose context set is at least
 /// `options.min_context` nodes is forked across `options.parallelism`

@@ -187,6 +187,46 @@ TEST(PlanCacheTest, CompileErrorsAreNotCached) {
   EXPECT_EQ(cache.misses(), 3u);
 }
 
+TEST(PlanCacheTest, ParseOptionsArePartOfTheKey) {
+  PlanCache cache(8);
+  // "/Child+::a" parses only under the paper-axes dialect; a cache that
+  // keyed on text alone would serve the paper-dialect plan to a
+  // standard-dialect caller.
+  ParseOptions paper;
+  paper.xpath_paper_axes = true;
+  Result<PlanPtr> relational =
+      cache.GetOrCompile(Language::kXPath, "/Child+::a", paper);
+  ASSERT_TRUE(relational.ok()) << relational.status().ToString();
+
+  ParseOptions standard;
+  standard.xpath_paper_axes = false;
+  Result<PlanPtr> rejected =
+      cache.GetOrCompile(Language::kXPath, "/Child+::a", standard);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kParseError);
+  EXPECT_FALSE(cache.Lookup(Language::kXPath, "/Child+::a", standard)
+                   .has_value());
+
+  // max_nesting is keyed too: the same deep text compiles under the
+  // default depth and fails under a tiny one, independently cached.
+  const std::string deep = "//a[b[b[b[c]]]]";
+  ASSERT_TRUE(cache.GetOrCompile(Language::kXPath, deep).ok());
+  ParseOptions shallow;
+  shallow.max_nesting = 2;
+  ASSERT_FALSE(cache.GetOrCompile(Language::kXPath, deep, shallow).ok());
+  EXPECT_TRUE(cache.Lookup(Language::kXPath, deep).has_value());
+
+  // The plan remembers the dialect it was compiled under, and Insert
+  // files it under that dialect's key.
+  EXPECT_TRUE(relational.value()->parse_options().xpath_paper_axes);
+  PlanCache fresh(4);
+  fresh.Insert(relational.value());
+  EXPECT_TRUE(
+      fresh.Lookup(Language::kXPath, "/Child+::a", paper).has_value());
+  EXPECT_FALSE(fresh.Lookup(Language::kXPath, "/Child+::a", standard)
+                   .has_value());
+}
+
 TEST(PlanCacheTest, ConcurrentGetOrCompile) {
   PlanCache cache(16);
   std::vector<std::string> queries = {"//a", "//b", "//c", "//d"};
@@ -211,7 +251,7 @@ TEST(ExecutorTest, SingleRequest) {
       Plan::Compile(Language::kXPath, "//review/rating5").value();
   Executor exec(Executor::Options{.num_workers = 2, .queue_capacity = 8});
   EXPECT_EQ(exec.num_workers(), 2);
-  std::future<Result<QueryResult>> f = exec.Submit(plan, doc);
+  std::future<Result<QueryResult>> f = exec.Submit({plan, doc, {}}).future;
   Result<QueryResult> r = f.get();
   ASSERT_TRUE(r.ok());
   auto ast = xpath::ParseXPath("//review/rating5").value();
@@ -222,9 +262,9 @@ TEST(ExecutorTest, NullPlanOrDocumentFailsCleanly) {
   DocumentPtr doc = Catalog();
   PlanPtr plan = Plan::Compile(Language::kXPath, "//a").value();
   Executor exec(Executor::Options{.num_workers = 1, .queue_capacity = 4});
-  EXPECT_EQ(exec.Submit(nullptr, doc).get().status().code(),
+  EXPECT_EQ(exec.Submit({nullptr, doc, {}}).future.get().status().code(),
             StatusCode::kInvalidArgument);
-  EXPECT_EQ(exec.Submit(plan, nullptr).get().status().code(),
+  EXPECT_EQ(exec.Submit({plan, nullptr, {}}).future.get().status().code(),
             StatusCode::kInvalidArgument);
 }
 
@@ -268,7 +308,7 @@ TEST(ExecutorTest, ManyRequestsThroughSmallQueue) {
   PlanPtr plan = Plan::Compile(Language::kXPath, "//name").value();
   Executor exec(Executor::Options{.num_workers = 3, .queue_capacity = 2});
   std::vector<std::future<Result<QueryResult>>> futures;
-  for (int i = 0; i < 200; ++i) futures.push_back(exec.Submit(plan, doc));
+  for (int i = 0; i < 200; ++i) futures.push_back(exec.Submit({plan, doc, {}}).future);
   int expected = -1;
   for (auto& f : futures) {
     Result<QueryResult> r = f.get();
@@ -312,7 +352,7 @@ TEST(ExecutorTest, SubmitAfterShutdownFails) {
   // after destruction is UB like any use-after-free; what we guarantee is
   // that destruction itself drains cleanly with requests in flight.)
   std::vector<std::future<Result<QueryResult>>> futures;
-  for (int i = 0; i < 20; ++i) futures.push_back(exec->Submit(plan, doc));
+  for (int i = 0; i < 20; ++i) futures.push_back(exec->Submit({plan, doc, {}}).future);
   exec.reset();  // close + drain + join
   for (auto& f : futures) EXPECT_TRUE(f.get().ok());
 }
@@ -321,18 +361,18 @@ TEST(ExecutorTest, SubmitAfterExplicitShutdownReturnsUnavailable) {
   DocumentPtr doc = Catalog(7, 5);
   PlanPtr plan = Plan::Compile(Language::kXPath, "//a").value();
   Executor exec(Executor::Options{.num_workers = 2, .queue_capacity = 4});
-  ASSERT_TRUE(exec.Submit(plan, doc).get().ok());
+  ASSERT_TRUE(exec.Submit({plan, doc, {}}).future.get().ok());
   exec.Shutdown();
   exec.Shutdown();  // idempotent
 
-  // Both Submit overloads: an already-failed future, never a hang or a
-  // broken promise.
-  Result<QueryResult> plain = exec.Submit(plan, doc).get();
+  // Unbounded and bounded requests alike: an already-failed future, never
+  // a hang or a broken promise.
+  Result<QueryResult> plain = exec.Submit({plan, doc, {}}).future.get();
   ASSERT_FALSE(plain.ok());
   EXPECT_EQ(plain.status().code(), StatusCode::kUnavailable);
   EXPECT_NE(plain.status().message().find("shut down"), std::string::npos);
 
-  Submission bounded = exec.Submit(plan, doc, SubmitOptions{});
+  Submission bounded = exec.Submit({plan, doc, SubmitOptions{}});
   Result<QueryResult> r = bounded.future.get();
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
@@ -353,7 +393,7 @@ TEST(ExecutorTest, ConcurrentSubmitAndShutdownNeverBreaksPromises) {
         for (int i = 0; i < 10; ++i) {
           SubmitOptions opts;
           opts.reject_when_full = true;  // non-blocking: can race Shutdown
-          Submission s = exec.Submit(plan, doc, opts);
+          Submission s = exec.Submit({plan, doc, opts});
           std::lock_guard<std::mutex> lock(mu);
           futures.push_back(std::move(s.future));
         }
@@ -382,7 +422,7 @@ TEST(ExecutorTest, AdmissionControlRejectsWhenSaturated) {
   std::vector<Submission> submissions;
   int rejected = 0;
   for (int i = 0; i < 64; ++i) {
-    submissions.push_back(exec.Submit(plan, doc, opts));
+    submissions.push_back(exec.Submit({plan, doc, opts}));
   }
   for (auto& s : submissions) {
     Result<QueryResult> r = s.future.get();
@@ -409,7 +449,7 @@ TEST(ExecutorTest, DeadlineExceededPromptly) {
   SubmitOptions opts;
   opts.timeout = std::chrono::milliseconds(10);
   auto start = std::chrono::steady_clock::now();
-  Submission s = exec.Submit(plan, doc, opts);
+  Submission s = exec.Submit({plan, doc, opts});
   Result<QueryResult> r = s.future.get();
   auto elapsed = std::chrono::steady_clock::now() - start;
   ASSERT_FALSE(r.ok());
@@ -430,7 +470,7 @@ TEST(ExecutorTest, CancelledFutureNeverDeliversAResult) {
   Executor exec(Executor::Options{.num_workers = 1, .queue_capacity = 4});
   SubmitOptions opts;
   opts.visit_budget = UINT64_MAX - 1;  // bounded context, huge budget
-  Submission s = exec.Submit(plan, doc, opts);
+  Submission s = exec.Submit({plan, doc, opts});
   s.Cancel();  // may land before, during, or after the worker picks it up
   Result<QueryResult> r = s.future.get();
   ASSERT_FALSE(r.ok());
@@ -447,7 +487,7 @@ TEST(ExecutorTest, VisitBudgetIsDeterministicAcrossSubmissions) {
   // Meter the true cost once, then check the boundary is exact and stable.
   SubmitOptions metered;
   metered.visit_budget = UINT64_MAX - 1;
-  Submission probe = exec.Submit(plan, doc, metered);
+  Submission probe = exec.Submit({plan, doc, metered});
   ASSERT_TRUE(probe.future.get().ok());
   const uint64_t cost = probe.context->visits_used();
   ASSERT_GT(cost, 0u);
@@ -455,11 +495,11 @@ TEST(ExecutorTest, VisitBudgetIsDeterministicAcrossSubmissions) {
   for (int run = 0; run < 5; ++run) {
     SubmitOptions enough;
     enough.visit_budget = cost;
-    EXPECT_TRUE(exec.Submit(plan, doc, enough).future.get().ok()) << run;
+    EXPECT_TRUE(exec.Submit({plan, doc, enough}).future.get().ok()) << run;
 
     SubmitOptions starved;
     starved.visit_budget = cost - 1;
-    Result<QueryResult> r = exec.Submit(plan, doc, starved).future.get();
+    Result<QueryResult> r = exec.Submit({plan, doc, starved}).future.get();
     ASSERT_FALSE(r.ok()) << run;
     EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
   }
@@ -481,14 +521,14 @@ TEST(ExecutorTest, DegradedFallbackStreamsUnderTinyBudget) {
   // no degradation happens on the probe).
   SubmitOptions metered;
   metered.visit_budget = UINT64_MAX - 1;
-  Submission probe = exec.Submit(plan, doc, metered);
+  Submission probe = exec.Submit({plan, doc, metered});
   ASSERT_TRUE(probe.future.get().ok());
   const uint64_t cost = probe.context->visits_used();
 
   // Just under the in-memory cost: without degradation the request dies.
   SubmitOptions opts;
   opts.visit_budget = cost - 1;
-  Result<QueryResult> hard = exec.Submit(plan, doc, opts).future.get();
+  Result<QueryResult> hard = exec.Submit({plan, doc, opts}).future.get();
   ASSERT_FALSE(hard.ok());
   EXPECT_EQ(hard.status().code(), StatusCode::kResourceExhausted);
 
@@ -496,7 +536,7 @@ TEST(ExecutorTest, DegradedFallbackStreamsUnderTinyBudget) {
   // streaming evaluator, which fits comfortably and produces the exact
   // answer, flagged as degraded.
   opts.allow_degraded = true;
-  Result<QueryResult> soft = exec.Submit(plan, doc, opts).future.get();
+  Result<QueryResult> soft = exec.Submit({plan, doc, opts}).future.get();
   ASSERT_TRUE(soft.ok()) << soft.status().ToString();
   EXPECT_TRUE(soft->degraded);
   EXPECT_EQ(soft->nodes(), expected);
@@ -520,11 +560,11 @@ TEST(ExecutorTest, BoundedExecutionCountersExported) {
 
     SubmitOptions starved;
     starved.visit_budget = 1;
-    EXPECT_FALSE(exec.Submit(plan, doc, starved).future.get().ok());
+    EXPECT_FALSE(exec.Submit({plan, doc, starved}).future.get().ok());
 
     SubmitOptions late;
     late.timeout = std::chrono::nanoseconds(1);
-    Result<QueryResult> r = exec.Submit(plan, doc, late).future.get();
+    Result<QueryResult> r = exec.Submit({plan, doc, late}).future.get();
     ASSERT_FALSE(r.ok());
     EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
 
@@ -532,7 +572,7 @@ TEST(ExecutorTest, BoundedExecutionCountersExported) {
     reject.reject_when_full = true;
     std::vector<Submission> burst;
     for (int i = 0; i < 64; ++i) {
-      burst.push_back(exec.Submit(plan, doc, reject));
+      burst.push_back(exec.Submit({plan, doc, reject}));
     }
     for (auto& s : burst) s.future.get();
   }
@@ -640,7 +680,7 @@ TEST(ExecutorTest, ProfileCapturesColdDegradedQuery) {
   // Meter the set-at-a-time cost before turning the recorder on.
   SubmitOptions metered;
   metered.visit_budget = UINT64_MAX - 1;
-  Submission probe = exec.Submit(plan, doc, metered);
+  Submission probe = exec.Submit({plan, doc, metered});
   ASSERT_TRUE(probe.future.get().ok());
   const uint64_t cost = probe.context->visits_used();
   ASSERT_GT(cost, 0u);
@@ -651,12 +691,12 @@ TEST(ExecutorTest, ProfileCapturesColdDegradedQuery) {
 
   // A filler request ahead of the probe on the single worker guarantees
   // the probed request actually waits in the queue.
-  std::future<Result<QueryResult>> filler_future = exec.Submit(filler, doc);
+  std::future<Result<QueryResult>> filler_future = exec.Submit({filler, doc, {}}).future;
   SubmitOptions opts;
   opts.visit_budget = cost - 1;  // forces the degradation classifier
   opts.allow_degraded = true;
   opts.plan_cache_hit = hit;  // false: this request paid the compile
-  Submission s = exec.Submit(plan, doc, opts);
+  Submission s = exec.Submit({plan, doc, opts});
   ASSERT_TRUE(filler_future.get().ok());
   Result<QueryResult> r = s.future.get();
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -710,7 +750,7 @@ TEST(ExecutorTest, ProfileReportsCacheHitsCompileFree) {
   Executor exec(Executor::Options{.num_workers = 1, .queue_capacity = 8});
   SubmitOptions opts;
   opts.plan_cache_hit = hit;
-  ASSERT_TRUE(exec.Submit(warm, doc, opts).future.get().ok());
+  ASSERT_TRUE(exec.Submit({warm, doc, opts}).future.get().ok());
 
   std::vector<obs::QueryProfile> recent =
       obs::FlightRecorder::Global().Recent();
@@ -737,7 +777,7 @@ TEST(ExecutorTest, ProfilesAttributeWorkCounters) {
   Executor exec(Executor::Options{.num_workers = 1, .queue_capacity = 8});
   SubmitOptions opts;
   opts.visit_budget = UINT64_MAX - 1;
-  ASSERT_TRUE(exec.Submit(plan, doc, opts).future.get().ok());
+  ASSERT_TRUE(exec.Submit({plan, doc, opts}).future.get().ok());
 
   std::vector<obs::QueryProfile> recent =
       obs::FlightRecorder::Global().Recent();
@@ -781,7 +821,7 @@ TEST(ExecutorTest, BoundedRequestsAggregateVisitCounter) {
   Executor exec(Executor::Options{.num_workers = 1, .queue_capacity = 8});
   SubmitOptions opts;
   opts.visit_budget = UINT64_MAX - 1;
-  Submission s = exec.Submit(plan, doc, opts);
+  Submission s = exec.Submit({plan, doc, opts});
   ASSERT_TRUE(s.future.get().ok());
   EXPECT_EQ(reg.CounterValue("exec.visits"), s.context->visits_used());
   EXPECT_GT(reg.CounterValue("exec.visits"), 0u);

@@ -7,7 +7,11 @@ GAUGE_SET,HISTOGRAM,SPAN} macro and checks that
   1. the name is well-formed: lowercase dot-separated components,
      `namespace.rest` with at least one dot (`^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$`);
   2. the name lives under a namespace documented in DESIGN.md's counter
-     taxonomy table (the `` `ns.*` `` first column).
+     taxonomy table (the `` `ns.*` `` first column);
+  3. namespaces with a structure rule also match it — `cache.*` names
+     must be `cache.<plane>.<leaf>` where <plane> is one of eval, result,
+     singleflight (adding a fourth plane means updating the rule and the
+     DESIGN.md taxonomy together).
 
 Run from anywhere:  python3 tools/check_metric_names.py
 Exit code 0 = clean, 1 = violations (each printed with file:line).
@@ -27,6 +31,12 @@ MACRO_RE = re.compile(
 NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
 # A taxonomy row's first column: | `xpath.naive.*` | ...
 TAXONOMY_ROW_RE = re.compile(r"^\|\s*`([a-z][a-z0-9_.]*)\.\*`\s*\|")
+# Per-namespace structure rules, stricter than the generic shape. The
+# cache subsystem has exactly three planes; a new plane must be added
+# here and in the DESIGN.md taxonomy row in the same change.
+STRUCTURE_RULES = {
+    "cache": re.compile(r"^cache\.(eval|result|singleflight)\.[a-z0-9_]+$"),
+}
 
 
 def documented_namespaces():
@@ -79,6 +89,12 @@ def main():
                 f"{rel}:{lineno}: metric {metric!r} is outside every "
                 "documented namespace — add a row to DESIGN.md's taxonomy "
                 f"table (documented: {', '.join(sorted(namespaces))})")
+        else:
+            rule = STRUCTURE_RULES.get(metric.split(".")[0])
+            if rule is not None and not rule.match(metric):
+                errors.append(
+                    f"{rel}:{lineno}: metric {metric!r} violates its "
+                    f"namespace structure rule {rule.pattern!r}")
 
     for e in errors:
         print(e)
