@@ -25,6 +25,7 @@
 #include "cache/eval_cache.h"
 #include "cache/result_cache.h"
 #include "engine/engine.h"
+#include "fault/fault.h"
 #include "obs/flight_recorder.h"
 #include "obs/prometheus.h"
 #include "tree/generator.h"
@@ -298,6 +299,40 @@ void RunThroughputSweep(treeq::benchjson::Record* record) {
               static_cast<unsigned long long>(recorder_recorded),
               static_cast<unsigned long long>(recorder_slow));
 
+  // --- Fault-point overhead ---------------------------------------------
+  // The same 1-thread batch with the registry disarmed (the shipping
+  // state: every point is one relaxed atomic load) vs armed with a rule
+  // on a point no seam ever hits ("bench.idle"): the armed run takes the
+  // full Hit() slow path — hash, hit counter, rule scan — at every
+  // compiled-in point without ever injecting, so armed/disarmed is an
+  // upper bound on what the compiled-in points can cost at all. The two
+  // modes are measured interleaved (disarmed, armed, disarmed, ...) so
+  // machine drift between sections cannot skew the ratio; CI gates it
+  // >= 0.98. The true disarmed-vs-TREEQ_FAULT_DISABLED comparison needs
+  // two builds and lives in the nightly fault-storm CI job.
+  treeq::fault::FaultPlan idle_plan;
+  idle_plan.seed = 1;
+  treeq::fault::FaultRule idle_rule;
+  idle_rule.point = "bench.idle";
+  idle_plan.rules.push_back(idle_rule);
+  double fault_disarmed_qps = 0;
+  double fault_armed_idle_qps = 0;
+  for (int i = 0; i < 3; ++i) {
+    treeq::fault::FaultRegistry::Global().Disarm();
+    fault_disarmed_qps = std::max(fault_disarmed_qps,
+                                  MeasureQps(batch, 1, nullptr));
+    treeq::fault::FaultRegistry::Global().Arm(idle_plan);
+    fault_armed_idle_qps = std::max(fault_armed_idle_qps,
+                                    MeasureQps(batch, 1, nullptr));
+  }
+  treeq::fault::FaultRegistry::Global().Disarm();
+  const double fault_overhead_ratio = fault_armed_idle_qps / fault_disarmed_qps;
+
+  std::printf("\n=== fault-point overhead (1 thread) ===\n");
+  std::printf("disarmed:     %9.0f qps\n", fault_disarmed_qps);
+  std::printf("armed (idle): %9.0f qps  (%.1f%% of disarmed)\n",
+              fault_armed_idle_qps, 100.0 * fault_overhead_ratio);
+
   // --- Cross-query reuse: 90%-repeated mix, caches on vs off ------------
   // Each distinct (plan, document) pair appears 10 times in the mix, so a
   // result cache can serve 90% of submissions from memory. The off mode
@@ -372,6 +407,9 @@ void RunThroughputSweep(treeq::benchjson::Record* record) {
     record->SetNumber("cache_hot_speedup", cache_hot_speedup);
     record->SetNumber("cache_result_hits",
                       static_cast<double>(result_cache_hits));
+    record->SetNumber("fault_disarmed_qps", fault_disarmed_qps);
+    record->SetNumber("fault_armed_idle_qps", fault_armed_idle_qps);
+    record->SetNumber("fault_overhead_ratio", fault_overhead_ratio);
   }
 }
 

@@ -13,6 +13,12 @@
 //   --metrics-out=PATH    write the full registry in Prometheus text
 //                         exposition format to PATH on exit (point a
 //                         node_exporter textfile collector at it)
+//   --fault-plan=LINE     arm the global FaultRegistry with a serialized
+//                         FaultPlan (the one-line format storms print,
+//                         e.g. 'seed=7 rule point=engine.queue.push
+//                         code=Unavailable first=3 max=inf p=1 tag=any')
+//                         to watch injected failures flow through the
+//                         serving path end to end
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +29,7 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "fault/fault.h"
 #include "obs/flight_recorder.h"
 #include "obs/prometheus.h"
 #include "obs/stats.h"
@@ -83,6 +90,7 @@ struct Flags {
   size_t flight_recorder = 0;  // 0 = off
   double slow_ms = 0;          // 0 = auto threshold
   std::string metrics_out;
+  std::string fault_plan;      // serialized FaultPlan; empty = disarmed
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -95,10 +103,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->slow_ms = std::atof(arg.c_str() + 10);
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       flags->metrics_out = arg.substr(14);
+    } else if (arg.rfind("--fault-plan=", 0) == 0) {
+      flags->fault_plan = arg.substr(13);
     } else {
       std::fprintf(stderr,
                    "usage: query_server [--flight-recorder=N] [--slow-ms=T] "
-                   "[--metrics-out=PATH]\n");
+                   "[--metrics-out=PATH] [--fault-plan=LINE]\n");
       return false;
     }
   }
@@ -119,6 +129,23 @@ int main(int argc, char** argv) {
     options.slow_threshold_ns =
         static_cast<uint64_t>(flags.slow_ms * 1e6);
     treeq::obs::FlightRecorder::Global().Enable(options);
+  }
+  if (!flags.fault_plan.empty()) {
+    treeq::Result<treeq::fault::FaultPlan> plan =
+        treeq::fault::FaultPlan::Parse(flags.fault_plan);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "--fault-plan: %s\n",
+                   plan.status().ToString().c_str());
+      return 2;
+    }
+    if (!treeq::fault::kFaultPointsCompiledIn) {
+      std::fprintf(stderr,
+                   "--fault-plan: built with TREEQ_FAULT_DISABLED; "
+                   "no points to arm\n");
+      return 2;
+    }
+    treeq::fault::FaultRegistry::Global().Arm(*plan);
+    std::printf("fault plan armed: %s\n", plan->ToString().c_str());
   }
 
   // 1. Load the corpus. Add() precomputes each document's TreeOrders, so

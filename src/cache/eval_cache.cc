@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace treeq {
@@ -72,6 +73,13 @@ EvalCache::Shard& EvalCache::ShardFor(const Key& key) {
 
 bool EvalCache::Lookup(uint64_t epoch, Axis axis, const NodeSet& from,
                        NodeSet* to) {
+  // Injected lookup failure = a forced miss: the memo recomputes, results
+  // stay bit-identical, only the hit rate moves. Counted as a real miss.
+  if (TREEQ_FAULT_FIRED("cache.eval.lookup")) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    TREEQ_OBS_INC("cache.eval.misses");
+    return false;
+  }
   const Key key = MakeKey(epoch, axis, from);
   Shard& shard = ShardFor(key);
   {
@@ -92,6 +100,9 @@ bool EvalCache::Lookup(uint64_t epoch, Axis axis, const NodeSet& from,
 
 void EvalCache::Insert(uint64_t epoch, Axis axis, const NodeSet& from,
                        const NodeSet& to) {
+  // Injected insert failure = the entry is silently dropped, as if it lost
+  // an eviction race immediately. Correctness never depends on residency.
+  if (TREEQ_FAULT_FIRED("cache.eval.insert")) return;
   const size_t entry_bytes = EntryBytes(to);
   if (entry_bytes > options_.max_entry_bytes ||
       entry_bytes > shard_budget_) {

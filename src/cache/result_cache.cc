@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace treeq {
@@ -64,6 +65,13 @@ ResultCache::Shard& ResultCache::ShardFor(const ResultKey& key) {
 }
 
 std::optional<QueryResult> ResultCache::Lookup(const ResultKey& key) {
+  // Injected lookup failure = a forced miss: the request executes as if
+  // the entry were evicted a moment earlier. Counted as a real miss.
+  if (TREEQ_FAULT_FIRED("cache.result.lookup")) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    TREEQ_OBS_INC("cache.result.misses");
+    return std::nullopt;
+  }
   Shard& shard = ShardFor(key);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -81,6 +89,9 @@ std::optional<QueryResult> ResultCache::Lookup(const ResultKey& key) {
 }
 
 void ResultCache::Insert(const ResultKey& key, const QueryResult& result) {
+  // Injected insert failure = the entry is silently dropped; later lookups
+  // miss and recompute. Residency is an optimization, never a contract.
+  if (TREEQ_FAULT_FIRED("cache.result.insert")) return;
   const size_t entry_bytes = kEntryOverheadBytes + key.text.size() +
                              ResultBytes(result);
   if (entry_bytes > shard_budget_) return;
@@ -119,6 +130,11 @@ void ResultCache::EvictLocked(Shard* shard) {
 }
 
 void ResultCache::InvalidateDocument(uint64_t epoch) {
+  // Injected invalidate failure = dead-epoch entries linger until evicted
+  // by capacity. Safe because keys carry the epoch: a replaced document
+  // gets a fresh epoch, so stale entries can never satisfy a new lookup —
+  // the fault only delays memory reclamation, which the storm verifies.
+  if (TREEQ_FAULT_FIRED("cache.result.invalidate")) return;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace treeq {
@@ -70,6 +71,11 @@ void DocumentStore::AddEvictionListener(EvictionListener fn) {
 }
 
 void DocumentStore::NotifyEviction(uint64_t epoch) {
+  // Injected notify failure = the eviction fan-out is lost, so epoch-keyed
+  // cache entries for the dead document are never proactively invalidated.
+  // Correctness survives because cache keys carry the epoch (stale entries
+  // cannot satisfy new lookups); the storm asserts exactly that.
+  if (TREEQ_FAULT_FIRED("store.evict.notify")) return;
   std::vector<EvictionListener> listeners;
   {
     std::lock_guard<std::mutex> lock(mu_);

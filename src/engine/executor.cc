@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "fault/fault.h"
 #include "obs/obs.h"
 #include "obs/stats.h"
 #ifndef TREEQ_OBS_DISABLED
@@ -50,6 +51,10 @@ Result<QueryResult> RunOne(const PlanPtr& plan, const DocumentPtr& doc,
   if (doc == nullptr) {
     return Status::InvalidArgument("null document submitted");
   }
+  // Injected evaluation failure: surfaces through the same path as any
+  // evaluator error — cache insert skipped, profile recorded, flight
+  // completed, promise fulfilled.
+  TREEQ_FAULT_POINT("engine.worker.run");
   CountRequestLanguage(plan->language());
   ExecuteOptions options;
   options.allow_degraded = allow_degraded;
@@ -113,6 +118,10 @@ Executor::Executor(const Options& options)
 Executor::~Executor() { Shutdown(); }
 
 void Executor::Shutdown() {
+  // A fault point in a void seam: firing is observable (counters, storm
+  // assertions) but has nothing to fail — shutdown must always complete.
+  // Also proves post-shutdown injection can never abort the process.
+  (void)TREEQ_FAULT_INJECT("engine.shutdown");
   // Mark first so racing Submits fail fast without touching the queue,
   // then close so blocked pushes bounce and workers drain + exit.
   shutdown_.store(true, std::memory_order_release);
@@ -186,6 +195,10 @@ Submission Executor::SubmitWithCollapse(QueryRequest request, bool collapse) {
         return submission;
       }
     }
+    // Injected singleflight bypass: the request neither joins nor leads —
+    // it executes standalone (correct, just uncollapsed), and never owes
+    // the in-flight table a Complete.
+    if (collapse && TREEQ_FAULT_FIRED("cache.flight.join")) collapse = false;
     if (collapse) {
       if (std::optional<std::future<Result<QueryResult>>> follower =
               inflight_.Join(key)) {
@@ -224,10 +237,26 @@ Submission Executor::SubmitTask(Task task, bool reject_when_full) {
   // collapsed followers would wait forever.
   std::optional<cache::ResultKey> flight_key;
   if (task.flight_leader) flight_key = task.result_key;
+#ifndef TREEQ_OBS_DISABLED
+  // Snapshot what a rejection profile needs before the task is consumed
+  // by the queue move below (shared_ptr copies; recorder-gated).
+  PlanPtr profile_plan;
+  DocumentPtr profile_doc;
+  if (obs::FlightRecorder::Global().enabled()) {
+    profile_plan = task.plan;
+    profile_doc = task.document;
+  }
+  const uint64_t profile_id = task.profile_id;
+  const bool profile_cache_hit = task.cache_hit;
+#endif
   WorkItem item;
   item.request.emplace(std::move(task));
   bool accepted;
   if (shutdown_.load(std::memory_order_acquire)) {
+    accepted = false;
+  } else if (TREEQ_FAULT_FIRED("engine.queue.push")) {
+    // Injected submit-side saturation: indistinguishable from a genuinely
+    // full queue — same rejection counter, same Unavailable contract.
     accepted = false;
   } else if (reject_when_full) {
     accepted = queue_.TryPush(std::move(item));
@@ -245,6 +274,26 @@ Submission Executor::SubmitTask(Task task, bool reject_when_full) {
     if (flight_key.has_value()) {
       inflight_.Complete(*flight_key, status);
     }
+#ifndef TREEQ_OBS_DISABLED
+    // Rejected requests get a profile too (engine "rejected", zero
+    // execute time): a saturated queue is exactly when the flight
+    // recorder is most useful.
+    if (profile_plan != nullptr && profile_doc != nullptr &&
+        obs::FlightRecorder::Global().enabled()) {
+      obs::QueryProfile profile;
+      profile.id = profile_id;
+      profile.language = LanguageName(profile_plan->language());
+      profile.query_hash = obs::HashQueryText(profile_plan->text());
+      profile.query = profile_plan->text().substr(0, obs::kMaxQueryChars);
+      profile.document = profile_doc->name();
+      profile.engine = "rejected";
+      profile.explain = profile_plan->Explain();
+      profile.cache_hit = profile_cache_hit;
+      profile.ok = false;
+      profile.status = StatusCodeName(status.code());
+      TREEQ_OBS_FLIGHT_RECORD(std::move(profile));
+    }
+#endif
     std::promise<Result<QueryResult>> failed;
     submission.future = failed.get_future();
     failed.set_value(std::move(status));
@@ -295,6 +344,8 @@ std::vector<Result<QueryResult>> Executor::RunBatch(
 }
 
 void Executor::WorkerLoop() {
+  // Fault rules with thread_tag="worker" fire only on pool threads.
+  TREEQ_FAULT_THREAD_TAG("worker");
   // All counter increments below (and inside the evaluators) buffer into
   // this worker's shadow and merge at request boundaries; see executor.h.
   obs::ShadowCounters shadow;
@@ -346,10 +397,18 @@ void Executor::WorkerLoop() {
       TREEQ_OBS_HISTOGRAM("engine.queue_wait_ns", queue_wait_ns);
     }
 #endif
-    Result<QueryResult> result =
-        RunOne(task->plan, task->document, task->context,
-               task->allow_degraded, task->parallelism, &group_runner_,
-               task->bypass_cache ? nullptr : eval_cache_);
+    // Injected worker hand-off failure: the popped task never evaluates
+    // and fails with the injected status, but every obligation below —
+    // profile, shadow flush, flight completion, promise — still runs.
+    Result<QueryResult> result = [&]() -> Result<QueryResult> {
+      if (Status injected = TREEQ_FAULT_INJECT("engine.queue.pop");
+          !injected.ok()) {
+        return injected;
+      }
+      return RunOne(task->plan, task->document, task->context,
+                    task->allow_degraded, task->parallelism, &group_runner_,
+                    task->bypass_cache ? nullptr : eval_cache_);
+    }();
     // Publish a reusable outcome before anyone can observe the future: ok
     // and non-degraded only, so a cache hit is bit-identical to the
     // uncached evaluation it replays.
@@ -452,7 +511,13 @@ void Executor::RunChildren(std::vector<std::function<void()>> tasks) {
     std::function<void()> child = wrap(std::move(tasks[i]));
     WorkItem item;
     item.child = child;
-    if (!queue_.TryPushFront(std::move(item))) child();
+    // An injected scheduling failure exercises the same fallback as a
+    // closed queue: the child runs inline on the forking thread, so
+    // fork-join completion never depends on the pool.
+    if (TREEQ_FAULT_FIRED("engine.child.push") ||
+        !queue_.TryPushFront(std::move(item))) {
+      child();
+    }
   }
   first();
   // Help-run queued children — ours or another group's, both keep the

@@ -200,6 +200,11 @@ class Executor {
   /// directly can still borrow the executor's workers for parallelism.
   par::TaskRunner& task_runner();
 
+  /// The singleflight in-flight table, read-only. The fault storm harness
+  /// and the churn tests assert it drains to empty (no leaked flights)
+  /// once every submitted future is ready.
+  const cache::InflightTable& inflight() const { return inflight_; }
+
  private:
   friend class TaskGroupRunner;
 

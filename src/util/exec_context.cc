@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace treeq {
@@ -72,6 +73,18 @@ Status ExecContext::ChargeSlow(uint64_t units) const {
   if (parent_ != nullptr && (parent_->cancelled() || parent_->expired())) {
     return Trip(AbortKind::kCancelled);
   }
+  // Injected limit trips route through the real sticky-abort machinery —
+  // identical counters, identical Status rendering, identical fan-out to
+  // forked children — so a storm exercises the genuine failure paths.
+  // Guarded on limited_: the shared Unbounded() context must never trip.
+  if (limited_) {
+    if (TREEQ_FAULT_FIRED("exec.budget.charge")) {
+      return Trip(AbortKind::kVisitBudget);
+    }
+    if (TREEQ_FAULT_FIRED("exec.deadline.check")) {
+      return Trip(AbortKind::kDeadline);
+    }
+  }
   uint64_t before = visits_used_.fetch_add(units, std::memory_order_relaxed);
   uint64_t after = before + units;
   if (after > limits_.visit_budget || after < before /*overflow*/) {
@@ -95,6 +108,9 @@ Status ExecContext::ChargeMemory(uint64_t bytes) const {
   }
   if (parent_ != nullptr && (parent_->cancelled() || parent_->expired())) {
     return Trip(AbortKind::kCancelled);
+  }
+  if (limited_ && TREEQ_FAULT_FIRED("exec.memory.charge")) {
+    return Trip(AbortKind::kMemoryBudget);
   }
   uint64_t before = memory_used_.fetch_add(bytes, std::memory_order_relaxed);
   uint64_t after = before + bytes;

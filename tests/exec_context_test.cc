@@ -6,6 +6,7 @@
 #include <chrono>
 #include <thread>
 
+#include "fault/fault.h"
 #include "obs/stats.h"
 #include "tree/generator.h"
 #include "tree/orders.h"
@@ -192,6 +193,78 @@ TEST(ExecContextTest, EvaluatorBudgetIsReproducible) {
     // Partial progress: the failed run spent its whole budget.
     EXPECT_EQ(starved.visits_used(), cost - 1);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection through the real abort machinery (src/fault)
+// ---------------------------------------------------------------------------
+
+TEST(ExecContextFaultTest, InjectedTripsAreStickyAndRenderRealStatuses) {
+  if (!fault::kFaultPointsCompiledIn) {
+    GTEST_SKIP() << "fault points compiled out";
+  }
+  struct Case {
+    const char* point;
+    StatusCode code;
+  };
+  for (const Case& c : {Case{"exec.budget.charge",
+                             StatusCode::kResourceExhausted},
+                        Case{"exec.deadline.check",
+                             StatusCode::kDeadlineExceeded}}) {
+    SCOPED_TRACE(c.point);
+    fault::FaultPlan plan;
+    plan.seed = 1;
+    fault::FaultRule rule;
+    rule.point = c.point;
+    plan.rules.push_back(rule);
+    fault::ScopedFaultPlan armed(plan);
+    // A bounded context (far from its real limits) trips through the same
+    // sticky-abort path a genuine limit uses.
+    ExecContext context = ExecContext::WithVisitBudget(uint64_t{1} << 40);
+    Status status = context.Charge();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), c.code);
+    // Sticky: later charges keep failing with the same kind, and the trip
+    // fans out to forked children exactly like a real abort.
+    EXPECT_EQ(context.Charge().code(), c.code);
+    auto child = context.Fork(100, 100);
+    EXPECT_FALSE(child->Charge().ok());
+  }
+}
+
+TEST(ExecContextFaultTest, InjectedMemoryTripUsesMemoryAbortKind) {
+  if (!fault::kFaultPointsCompiledIn) {
+    GTEST_SKIP() << "fault points compiled out";
+  }
+  fault::FaultPlan plan;
+  plan.seed = 1;
+  fault::FaultRule rule;
+  rule.point = "exec.memory.charge";
+  plan.rules.push_back(rule);
+  fault::ScopedFaultPlan armed(plan);
+  ExecContext context = ExecContext::WithVisitBudget(uint64_t{1} << 40);
+  Status status = context.ChargeMemory(64);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExecContextFaultTest, InjectionNeverTouchesTheUnboundedContext) {
+  // Holds in every build: the shared Unbounded() context takes the fast
+  // path and the slow-path injection sites are guarded on limited_.
+  fault::FaultPlan plan;
+  plan.seed = 1;
+  for (const char* point :
+       {"exec.budget.charge", "exec.deadline.check", "exec.memory.charge"}) {
+    fault::FaultRule rule;
+    rule.point = point;
+    plan.rules.push_back(rule);
+  }
+  fault::ScopedFaultPlan armed(plan);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(ExecContext::Unbounded().Charge().ok());
+  }
+  EXPECT_TRUE(ExecContext::Unbounded().ChargeMemory(1024).ok());
+  EXPECT_TRUE(ExecContext::Unbounded().CheckNow().ok());
 }
 
 }  // namespace

@@ -11,8 +11,12 @@
 
 #include "cq/parser.h"
 #include "datalog/parser.h"
+#include "engine/engine.h"
+#include "fault/fault.h"
 #include "fo/parser.h"
+#include "obs/flight_recorder.h"
 #include "query/parse.h"
+#include "tree/generator.h"
 #include "tree/xml.h"
 #include "util/random.h"
 #include "xpath/parser.h"
@@ -211,6 +215,97 @@ TEST(ParserFuzzTest, DeepNestingDoesNotOverflow) {
   for (int i = 0; i < 1000; ++i) fo_deep += "exists v . ";
   fo_deep += "Lab_a(v)";
   EXPECT_TRUE(fo::ParseFo(fo_deep).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Injection robustness: the engine under adversarial fault plans
+// ---------------------------------------------------------------------------
+
+#ifndef TREEQ_OBS_DISABLED
+// An injected queue failure — at the submit side (engine.queue.push) or at
+// the worker hand-off (engine.queue.pop) — must look like a clean
+// Unavailable to the client AND leave a well-formed profile behind: id,
+// language, query text, and status all populated, whichever side failed.
+TEST(FaultFuzzTest, InjectedQueueFailuresKeepProfileContract) {
+  if (!fault::kFaultPointsCompiledIn) {
+    GTEST_SKIP() << "fault points compiled out";
+  }
+  Rng rng(11);
+  CatalogOptions copts;
+  copts.num_products = 10;
+  DocumentPtr doc = MakeDocumentWithOrders(CatalogDocument(&rng, copts));
+  engine::PlanPtr plan =
+      engine::Plan::Compile(Language::kXPath, "//review[rating5]").value();
+
+  for (const char* point : {"engine.queue.push", "engine.queue.pop"}) {
+    SCOPED_TRACE(point);
+    obs::FlightRecorder::Global().Enable(obs::FlightRecorder::Options{});
+    fault::FaultPlan fplan;
+    fplan.seed = 1;
+    fault::FaultRule rule;
+    rule.point = point;
+    fplan.rules.push_back(rule);
+    fault::ScopedFaultPlan armed(fplan);
+
+    engine::Executor executor(engine::Executor::Options{});
+    QueryRequest request;
+    request.plan = plan;
+    request.document = doc;
+    Result<QueryResult> outcome = executor.Submit(request).future.get();
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.status().code(), StatusCode::kUnavailable);
+    executor.Shutdown();
+
+    std::vector<obs::QueryProfile> recent =
+        obs::FlightRecorder::Global().Recent();
+    ASSERT_FALSE(recent.empty());
+    const obs::QueryProfile& profile = recent.back();
+    EXPECT_GT(profile.id, 0u);
+    EXPECT_EQ(profile.language, "xpath");
+    EXPECT_EQ(profile.query, "//review[rating5]");
+    EXPECT_NE(profile.query_hash, 0u);
+    EXPECT_FALSE(profile.ok);
+    EXPECT_EQ(profile.status, "Unavailable");
+    obs::FlightRecorder::Global().Disable();
+  }
+}
+#endif  // TREEQ_OBS_DISABLED
+
+// Arming every known point at p=1 against an executor that is already
+// shut down must stay a graceful Unavailable — injection may not create a
+// crash, a broken promise, or a wedge where the real code would not.
+TEST(FaultFuzzTest, PostShutdownInjectionNeverAborts) {
+  if (!fault::kFaultPointsCompiledIn) {
+    GTEST_SKIP() << "fault points compiled out";
+  }
+  Rng rng(12);
+  CatalogOptions copts;
+  copts.num_products = 10;
+  DocumentPtr doc = MakeDocumentWithOrders(CatalogDocument(&rng, copts));
+  engine::PlanPtr plan =
+      engine::Plan::Compile(Language::kXPath, "//review").value();
+
+  fault::FaultPlan fplan;
+  fplan.seed = 3;
+  for (const std::string& point : fault::KnownPoints()) {
+    fault::FaultRule rule;
+    rule.point = point;
+    fplan.rules.push_back(rule);
+  }
+  fault::ScopedFaultPlan armed(fplan);
+
+  engine::Executor executor(engine::Executor::Options{});
+  executor.Shutdown();
+  executor.Shutdown();  // idempotent even while engine.shutdown fires
+  for (int i = 0; i < 8; ++i) {
+    QueryRequest request;
+    request.plan = plan;
+    request.document = doc;
+    request.options.reject_when_full = (i % 2 == 0);
+    Result<QueryResult> outcome = executor.Submit(request).future.get();
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.status().code(), StatusCode::kUnavailable);
+  }
 }
 
 }  // namespace

@@ -36,6 +36,11 @@ TAXONOMY_ROW_RE = re.compile(r"^\|\s*`([a-z][a-z0-9_.]*)\.\*`\s*\|")
 # here and in the DESIGN.md taxonomy row in the same change.
 STRUCTURE_RULES = {
     "cache": re.compile(r"^cache\.(eval|result|singleflight)\.[a-z0-9_]+$"),
+    # Fault-injection metrics: `fault.<point>.<leaf>` where <point> is a
+    # registry point name (dotted, e.g. engine.queue.push) or `registry`
+    # for the process-wide counters, and the leaf is one of the three
+    # verbs the registry emits (src/fault/fault.cc).
+    "fault": re.compile(r"^fault\.[a-z0-9_.]+\.(hits|fired|armed)$"),
 }
 
 
