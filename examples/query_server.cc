@@ -19,6 +19,11 @@
 //                         code=Unavailable first=3 max=inf p=1 tag=any')
 //                         to watch injected failures flow through the
 //                         serving path end to end
+//   --explain             compile the traffic and print each plan's
+//                         explain line (classification | canonical IR +
+//                         hash | eligible routes) plus the cost-ranked
+//                         routing decision for one document, without
+//                         executing any query
 
 #include <cstdio>
 #include <cstdlib>
@@ -91,6 +96,7 @@ struct Flags {
   double slow_ms = 0;          // 0 = auto threshold
   std::string metrics_out;
   std::string fault_plan;      // serialized FaultPlan; empty = disarmed
+  bool explain = false;        // print plans, don't execute
 };
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
@@ -105,10 +111,12 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->metrics_out = arg.substr(14);
     } else if (arg.rfind("--fault-plan=", 0) == 0) {
       flags->fault_plan = arg.substr(13);
+    } else if (arg == "--explain") {
+      flags->explain = true;
     } else {
       std::fprintf(stderr,
                    "usage: query_server [--flight-recorder=N] [--slow-ms=T] "
-                   "[--metrics-out=PATH] [--fault-plan=LINE]\n");
+                   "[--metrics-out=PATH] [--fault-plan=LINE] [--explain]\n");
       return false;
     }
   }
@@ -183,9 +191,24 @@ int main(int argc, char** argv) {
     cache_hits.push_back(was_hit);
   }
   std::printf("compiled %zu requests through the cache: %llu hits, %llu "
-              "misses\n\n",
+              "misses, %llu canonical aliases\n\n",
               plans.size(), static_cast<unsigned long long>(cache.hits()),
-              static_cast<unsigned long long>(cache.misses()));
+              static_cast<unsigned long long>(cache.misses()),
+              static_cast<unsigned long long>(cache.canonical_hits()));
+
+  // --explain: print each plan's compile-time classification, canonical
+  // IR + hash, and the cost-ranked routing against one document (the
+  // native engine is starred) — then exit without executing anything.
+  if (flags.explain) {
+    treeq::DocumentPtr sample = store.Get(store.Names().front()).value();
+    for (const PlanPtr& plan : plans) {
+      std::printf("[%-7s] %s\n  %s\n  %s\n\n",
+                  LanguageName(plan->language()),
+                  OneLine(plan->text()).c_str(), plan->Explain().c_str(),
+                  plan->ExplainRouting(*sample).c_str());
+    }
+    return 0;
+  }
 
   // 3. Serve every (plan, document) pair on a worker pool.
   Executor executor(Executor::Options{.num_workers = 4});

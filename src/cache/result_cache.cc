@@ -37,16 +37,9 @@ size_t ResultBytes(const QueryResult& result) {
 }  // namespace
 
 size_t ResultKeyHash::operator()(const ResultKey& key) const {
-  uint64_t h = 14695981039346656037ull;
-  for (char c : key.text) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
+  uint64_t h = Mix(key.query_hash_lo);
+  h = Mix(h ^ key.query_hash_hi);
   h = Mix(h ^ key.doc_epoch);
-  h = Mix(h ^ (static_cast<uint64_t>(key.language) << 34 |
-               static_cast<uint64_t>(static_cast<uint32_t>(key.max_nesting))
-                   << 1 |
-               (key.xpath_paper_axes ? 1 : 0)));
   return static_cast<size_t>(h);
 }
 
@@ -92,8 +85,7 @@ void ResultCache::Insert(const ResultKey& key, const QueryResult& result) {
   // Injected insert failure = the entry is silently dropped; later lookups
   // miss and recompute. Residency is an optimization, never a contract.
   if (TREEQ_FAULT_FIRED("cache.result.insert")) return;
-  const size_t entry_bytes = kEntryOverheadBytes + key.text.size() +
-                             ResultBytes(result);
+  const size_t entry_bytes = kEntryOverheadBytes + ResultBytes(result);
   if (entry_bytes > shard_budget_) return;
   Shard& shard = ShardFor(key);
   {

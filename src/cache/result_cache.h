@@ -21,10 +21,12 @@
 /// Whole-query result reuse across Submits, in two cooperating pieces:
 ///
 ///   - `ResultCache`: a sharded LRU of finished `QueryResult`s keyed by
-///     (document epoch, language, parse-dialect options, query text). The
-///     full text is stored and compared on lookup, so — unlike the
-///     fingerprinted EvalCache — a ResultCache hit is collision-free by
-///     construction. Errors and degraded results are never inserted.
+///     (document epoch, canonical plan hash). The hash is the 128-bit
+///     canonical identity from plan/canonicalize.h, so semantically
+///     identical queries — across languages, dialects, whitespace, and
+///     variable renaming — share one entry; collision odds are the
+///     128-bit birthday bound. Errors and degraded results are never
+///     inserted.
 ///
 ///   - `InflightTable` (singleflight): collapses concurrent identical
 ///     Submits into one execution. The first submitter of a key becomes
@@ -44,15 +46,15 @@
 namespace treeq {
 namespace cache {
 
-/// Identity of one cacheable execution. Dialect options are part of the
-/// key for the same reason they are part of the PlanCache key: the same
-/// text can parse to different queries under different ParseOptions.
+/// Identity of one cacheable execution: the document epoch plus the
+/// plan's canonical 128-bit hash (engine::Plan::canonical_hash()). The
+/// hash already folds in language, dialect options, and query structure —
+/// two texts share a key exactly when they compile to the same canonical
+/// logical plan, which is the sharing the cache wants.
 struct ResultKey {
   uint64_t doc_epoch = 0;
-  Language language = Language::kXPath;
-  int max_nesting = 0;
-  bool xpath_paper_axes = true;
-  std::string text;
+  uint64_t query_hash_hi = 0;
+  uint64_t query_hash_lo = 0;
 
   bool operator==(const ResultKey&) const = default;
 };

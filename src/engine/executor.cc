@@ -86,12 +86,13 @@ bool CacheEligible(const SubmitOptions& options) {
 }
 
 cache::ResultKey MakeResultKey(const Plan& plan, uint64_t doc_epoch) {
+  // The canonical hash folds in language, dialect options, and structure:
+  // semantically identical queries across dialects share one key, one
+  // cached result, and one singleflight.
   cache::ResultKey key;
   key.doc_epoch = doc_epoch;
-  key.language = plan.language();
-  key.max_nesting = plan.parse_options().max_nesting;
-  key.xpath_paper_axes = plan.parse_options().xpath_paper_axes;
-  key.text = plan.text();
+  key.query_hash_hi = plan.canonical_hash().hi;
+  key.query_hash_lo = plan.canonical_hash().lo;
   return key;
 }
 
@@ -179,6 +180,7 @@ Submission Executor::SubmitWithCollapse(QueryRequest request, bool collapse) {
           profile.document = task.document->name();
           profile.engine = "cache.result";
           profile.explain = plan.Explain();
+          profile.canonical_hash = plan.canonical_hash().ToHex();
           profile.cache_hit = task.cache_hit;
           profile.result_cache_hit = true;
           profile.visits = 1;
@@ -288,6 +290,7 @@ Submission Executor::SubmitTask(Task task, bool reject_when_full) {
       profile.document = profile_doc->name();
       profile.engine = "rejected";
       profile.explain = profile_plan->Explain();
+      profile.canonical_hash = profile_plan->canonical_hash().ToHex();
       profile.cache_hit = profile_cache_hit;
       profile.ok = false;
       profile.status = StatusCodeName(status.code());
@@ -439,6 +442,8 @@ void Executor::WorkerLoop() {
       profile.engine =
           result.ok() ? result.value().engine : plan.route_name();
       profile.explain = plan.Explain();
+      if (result.ok()) profile.route_rationale = result.value().route_rationale;
+      profile.canonical_hash = plan.canonical_hash().ToHex();
       profile.cache_hit = task->cache_hit;
       profile.degraded = result.ok() && result.value().degraded;
       if (result.ok()) {

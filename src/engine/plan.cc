@@ -1,15 +1,22 @@
 #include "engine/plan.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
 #include "cq/enumerate.h"
 #include "datalog/evaluator.h"
+#include "fault/fault.h"
 #include "fo/corollary52.h"
 #include "fo/evaluator.h"
 #include "obs/obs.h"
+#include "plan/canonicalize.h"
+#include "plan/lower.h"
+#include "plan/route.h"
 #include "stream/stream_eval.h"
 #include "xpath/evaluator.h"
+#include "xpath/naive_evaluator.h"
+#include "xpath/to_datalog.h"
 #include "xpath/to_forward.h"
 
 namespace treeq {
@@ -30,6 +37,34 @@ uint64_t QuerySize(const ParsedQuery& query) {
       return static_cast<uint64_t>(fo::Size(*query.fo));
   }
   return 1;
+}
+
+/// TREEQ_OBS_INC caches one counter per macro site; each language's
+/// lowering counter needs its own literal.
+void CountLowering(Language language, bool structural) {
+  switch (language) {
+    case Language::kXPath:
+      TREEQ_OBS_INC("plan.lower.xpath");
+      break;
+    case Language::kCq:
+      TREEQ_OBS_INC("plan.lower.cq");
+      break;
+    case Language::kDatalog:
+      TREEQ_OBS_INC("plan.lower.datalog");
+      break;
+    case Language::kFo:
+      TREEQ_OBS_INC("plan.lower.fo");
+      break;
+  }
+  if (!structural) TREEQ_OBS_INC("plan.lower.opaque");
+}
+
+/// Canonical result order so every engine's answer is bit-identical:
+/// tuples sort lexicographically and dedupe.
+void NormalizeTuples(TupleSet* tuples) {
+  std::sort(tuples->begin(), tuples->end());
+  tuples->erase(std::unique(tuples->begin(), tuples->end()),
+                tuples->end());
 }
 
 }  // namespace
@@ -94,6 +129,8 @@ Result<PlanPtr> Plan::Compile(Language language, std::string_view text,
     }
   }
 
+  plan->BuildLogicalPlan();
+
   // The Explain() line and compile_ns are routing metadata computed once
   // here so per-query profiles copy a finished string instead of
   // re-deriving the classification on the serving path.
@@ -128,11 +165,142 @@ Result<PlanPtr> Plan::Compile(Language language, std::string_view text,
   }
   plan->explain_ += "; est. visits = |Q|*(|D|+1), |Q|=" +
                     std::to_string(QuerySize(plan->query_));
+  plan->explain_ += " | ir: " + plan->ir_.Render();
+  plan->explain_ += " hash=" + plan->canonical_hash_.ToHex();
+  plan->explain_ += " | routes:";
+  for (plan::EngineKind kind : plan->eligible_) {
+    plan->explain_ += " ";
+    plan->explain_ += plan::EngineName(kind);
+  }
   plan->compile_ns_ = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - compile_start)
           .count());
   return PlanPtr(std::move(plan));
+}
+
+void Plan::BuildLogicalPlan() {
+  switch (query_.language) {
+    case Language::kXPath:
+      ir_ = plan::LowerXPath(*query_.xpath);
+      break;
+    case Language::kCq:
+      ir_ = plan::LowerCq(*query_.cq);
+      break;
+    case Language::kDatalog:
+      ir_ = plan::LowerDatalog(*query_.datalog);
+      break;
+    case Language::kFo:
+      ir_ = plan::LowerFo(*query_.fo);
+      break;
+  }
+  canonical_hash_ = plan::Canonicalize(&ir_);
+  CountLowering(query_.language, ir_.structural());
+
+  auto add = [this](plan::EngineKind kind) {
+    if (std::find(eligible_.begin(), eligible_.end(), kind) ==
+        eligible_.end()) {
+      eligible_.push_back(kind);
+    }
+  };
+  add(NativeEngine());
+
+  // Language-native alternates: engines that evaluate the original AST.
+  if (query_.language == Language::kXPath) {
+    add(plan::EngineKind::kXPathNaive);
+    if (stream_query_ != nullptr) add(plan::EngineKind::kXPathStream);
+    Result<datalog::Program> translated =
+        xpath::XPathToDatalog(*query_.xpath);
+    if (translated.ok()) {
+      datalog_form_ = std::make_unique<datalog::Program>(
+          std::move(translated).value());
+      add(plan::EngineKind::kDatalogTmnf);
+    }
+  }
+  if (query_.language == Language::kFo && fo_positive_) {
+    add(plan::EngineKind::kFoNaive);
+  }
+
+  // Cross-engine eligibility comes from the canonical structural IR. An
+  // anchored branch (absolute XPath) has no CQ/twig/FO equivalent — the
+  // root constraint is not an axis atom — so it stays with its native
+  // engines.
+  if (!ir_.structural()) return;
+  for (const plan::QueryGraph& branch : ir_.branches) {
+    if (branch.anchored) return;
+  }
+
+  std::vector<cq::ConjunctiveQuery> cqs;
+  bool all_cq = true;
+  for (const plan::QueryGraph& branch : ir_.branches) {
+    cq::ConjunctiveQuery q;
+    if (!plan::GraphToCq(branch, &q) || !q.IsTreeShaped()) {
+      all_cq = false;
+      break;
+    }
+    cqs.push_back(std::move(q));
+  }
+  if (all_cq) {
+    cq_branches_ = std::move(cqs);
+    if (ir_.arity == 0) add(plan::EngineKind::kDichotomy);
+    add(plan::EngineKind::kYannakakis);
+  }
+
+  if (ir_.arity >= 1) {
+    std::vector<cq::TwigPattern> twigs;
+    std::vector<std::vector<int>> cols;
+    bool all_twig = true;
+    for (const plan::QueryGraph& branch : ir_.branches) {
+      cq::TwigPattern pattern;
+      std::vector<int> out_cols;
+      if (!plan::GraphToTwig(branch, &pattern, &out_cols)) {
+        all_twig = false;
+        break;
+      }
+      twigs.push_back(std::move(pattern));
+      cols.push_back(std::move(out_cols));
+    }
+    if (all_twig) {
+      twig_branches_ = std::move(twigs);
+      twig_out_cols_ = std::move(cols);
+      add(plan::EngineKind::kTwigStack);
+      add(plan::EngineKind::kStructuralJoins);
+    }
+  }
+
+  if (ir_.arity == 0) {
+    std::vector<std::unique_ptr<fo::Formula>> sentences;
+    bool all_fo = true;
+    for (const plan::QueryGraph& branch : ir_.branches) {
+      std::unique_ptr<fo::Formula> sentence = plan::GraphToFo(branch);
+      if (sentence == nullptr) {
+        all_fo = false;
+        break;
+      }
+      sentences.push_back(std::move(sentence));
+    }
+    if (all_fo) {
+      fo_branches_ = std::move(sentences);
+      add(plan::EngineKind::kFoCorollary52);
+      add(plan::EngineKind::kFoNaive);
+    }
+  }
+}
+
+plan::EngineKind Plan::NativeEngine() const {
+  switch (query_.language) {
+    case Language::kXPath:
+      return plan::EngineKind::kXPathSetAtATime;
+    case Language::kDatalog:
+      return plan::EngineKind::kDatalogTmnf;
+    case Language::kCq:
+      return cq_boolean_ ? plan::EngineKind::kDichotomy
+                         : plan::EngineKind::kYannakakis;
+    case Language::kFo:
+      return fo_positive_ ? plan::EngineKind::kFoCorollary52
+                          : plan::EngineKind::kFoNaive;
+  }
+  return plan::EngineKind::kXPathSetAtATime;
 }
 
 const char* Plan::route_name() const {
@@ -179,6 +347,29 @@ bool Plan::PredictsBlowup(const Document& doc, const ExecContext& exec) const {
   return EstimatedVisits(doc) > remaining;
 }
 
+std::string Plan::ExplainRouting(const Document& doc) const {
+  const plan::DocStats stats = plan::DocStats::For(doc);
+  const plan::EngineKind native = NativeEngine();
+  std::vector<std::pair<uint64_t, plan::EngineKind>> costs;
+  for (plan::EngineKind kind : eligible_) {
+    uint64_t cost = plan::EstimateCost(kind, ir_, stats);
+    if (kind == native) cost -= cost / 5;  // the router's native discount
+    costs.emplace_back(cost, kind);
+  }
+  std::stable_sort(costs.begin(), costs.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::string out = "routing n=" + std::to_string(stats.nodes) + ":";
+  for (const auto& [cost, kind] : costs) {
+    out += " ";
+    out += plan::EngineName(kind);
+    out += "=" + std::to_string(cost);
+    if (kind == native) out += "*";
+  }
+  return out;
+}
+
 Result<QueryResult> Plan::Execute(const Document& doc,
                                   const ExecContext& exec,
                                   const ExecuteOptions& options) const {
@@ -187,11 +378,63 @@ Result<QueryResult> Plan::Execute(const Document& doc,
   // A request that spent its whole queue wait past the deadline should not
   // start evaluating at all.
   TREEQ_RETURN_IF_ERROR(exec.CheckNow());
+
+  if (!options.force_route.empty()) {
+    std::optional<plan::EngineKind> kind =
+        plan::ParseEngineName(options.force_route);
+    if (!kind.has_value()) {
+      return Status::InvalidArgument("unknown engine name: " +
+                                     options.force_route);
+    }
+    if (std::find(eligible_.begin(), eligible_.end(), *kind) ==
+        eligible_.end()) {
+      return Status::Unsupported("engine " + options.force_route +
+                                 " is not eligible for this plan");
+    }
+    TREEQ_OBS_INC("plan.route.forced");
+    Result<QueryResult> result = ExecuteEngine(*kind, doc, exec, options);
+    if (result.ok()) {
+      result.value().route_rationale =
+          std::string("forced: ") + plan::EngineName(*kind);
+    }
+    return result;
+  }
+
+  // Budget-bounded requests keep the historical native routing — the
+  // degradation gate and every budget/deadline test depends on the native
+  // engine's exact charge schedule. The cost router only runs for
+  // unbounded requests, where any eligible engine is semantically safe.
+  if (exec.limits().visit_budget != UINT64_MAX) {
+    return ExecuteEngine(NativeEngine(), doc, exec, options);
+  }
+
+  if (TREEQ_FAULT_FIRED("plan.route.decide")) {
+    // Injected router failure: fall back to the native engine, the one
+    // route that needs no routing decision.
+    TREEQ_OBS_INC("plan.route.fallbacks");
+    return ExecuteEngine(NativeEngine(), doc, exec, options);
+  }
+
+  const plan::DocStats stats = plan::DocStats::For(doc);
+  plan::RouteDecision decision =
+      plan::Route(ir_, eligible_, NativeEngine(), stats);
+  Result<QueryResult> result =
+      ExecuteEngine(decision.chosen, doc, exec, options);
+  if (result.ok()) {
+    result.value().route_rationale = std::move(decision.rationale);
+  }
+  return result;
+}
+
+Result<QueryResult> Plan::ExecuteEngine(plan::EngineKind kind,
+                                        const Document& doc,
+                                        const ExecContext& exec,
+                                        const ExecuteOptions& options) const {
   QueryResult out;
   out.language = query_.language;
-  out.engine = route_name();
-  switch (query_.language) {
-    case Language::kXPath: {
+  out.engine = plan::EngineName(kind);
+  switch (kind) {
+    case plan::EngineKind::kXPathSetAtATime: {
       if (options.allow_degraded && stream_query_ != nullptr &&
           PredictsBlowup(doc, exec)) {
         TREEQ_OBS_INC("engine.degraded");
@@ -234,16 +477,115 @@ Result<QueryResult> Plan::Execute(const Document& doc,
       out.value.emplace<NodeSet>(std::move(nodes));
       return out;
     }
-    case Language::kDatalog: {
+    case plan::EngineKind::kXPathNaive: {
       TREEQ_ASSIGN_OR_RETURN(
           NodeSet nodes,
-          datalog::EvaluateDatalog(*query_.datalog, doc, /*stats=*/nullptr,
-                                   exec));
+          xpath::NaiveEvalPath(doc.tree(), doc.orders(), *query_.xpath,
+                               doc.tree().root(), /*budget=*/UINT64_MAX,
+                               /*stats=*/nullptr, exec));
       out.value.emplace<NodeSet>(std::move(nodes));
       return out;
     }
-    case Language::kCq: {
-      if (cq_boolean_) {
+    case plan::EngineKind::kXPathStream: {
+      // An honest routing choice (not degradation): the streaming
+      // evaluator's answer is exact, so the result is cacheable.
+      TREEQ_ASSIGN_OR_RETURN(
+          std::vector<NodeId> selected,
+          stream::StreamMatcher::SelectFromTree(*stream_query_, doc.tree(),
+                                                /*stats=*/nullptr, exec));
+      NodeSet nodes(doc.num_nodes());
+      for (NodeId v : selected) nodes.Insert(v);
+      out.value.emplace<NodeSet>(std::move(nodes));
+      return out;
+    }
+    case plan::EngineKind::kTwigStack:
+    case plan::EngineKind::kStructuralJoins: {
+      NodeSet nodes(doc.num_nodes());
+      TupleSet tuples;
+      for (size_t b = 0; b < twig_branches_.size(); ++b) {
+        Result<TupleSet> matches =
+            kind == plan::EngineKind::kTwigStack
+                ? cq::TwigStackJoin(twig_branches_[b], doc,
+                                    /*stats=*/nullptr, exec)
+                : cq::TwigByStructuralJoins(twig_branches_[b], doc.tree(),
+                                            doc.orders(), /*stats=*/nullptr,
+                                            exec);
+        TREEQ_RETURN_IF_ERROR(matches.status());
+        const std::vector<int>& cols = twig_out_cols_[b];
+        for (const std::vector<NodeId>& match : matches.value()) {
+          if (ir_.arity == 1) {
+            nodes.Insert(match[static_cast<size_t>(cols[0])]);
+          } else {
+            std::vector<NodeId> tuple;
+            tuple.reserve(cols.size());
+            for (int col : cols) {
+              tuple.push_back(match[static_cast<size_t>(col)]);
+            }
+            tuples.push_back(std::move(tuple));
+          }
+        }
+      }
+      if (ir_.arity == 1) {
+        out.value.emplace<NodeSet>(std::move(nodes));
+      } else {
+        NormalizeTuples(&tuples);
+        out.value.emplace<TupleSet>(std::move(tuples));
+      }
+      return out;
+    }
+    case plan::EngineKind::kYannakakis: {
+      if (query_.language == Language::kCq && !cq_boolean_) {
+        TREEQ_ASSIGN_OR_RETURN(
+            TupleSet tuples,
+            cq::EvaluateAcyclic(*query_.cq, doc, UINT64_MAX, exec,
+                                options.axis_memo));
+        if (ir_.arity == 1) {
+          NodeSet nodes(doc.num_nodes());
+          for (const std::vector<NodeId>& t : tuples) nodes.Insert(t[0]);
+          out.value.emplace<NodeSet>(std::move(nodes));
+        } else {
+          NormalizeTuples(&tuples);
+          out.value.emplace<TupleSet>(std::move(tuples));
+        }
+        return out;
+      }
+      // Cross-engine (or Boolean) evaluation over the canonical branches.
+      NodeSet nodes(doc.num_nodes());
+      TupleSet tuples;
+      bool answer = false;
+      for (const cq::ConjunctiveQuery& branch : cq_branches_) {
+        cq::ConjunctiveQuery query = branch;
+        if (ir_.arity == 0) {
+          // Satisfiability via enumeration: project onto one variable and
+          // test non-emptiness.
+          query.AddHeadVar(0);
+        }
+        TREEQ_ASSIGN_OR_RETURN(
+            TupleSet matches,
+            cq::EvaluateAcyclic(query, doc, UINT64_MAX, exec,
+                                options.axis_memo));
+        if (ir_.arity == 0) {
+          answer = answer || !matches.empty();
+        } else if (ir_.arity == 1) {
+          for (const std::vector<NodeId>& t : matches) nodes.Insert(t[0]);
+        } else {
+          for (std::vector<NodeId>& t : matches) {
+            tuples.push_back(std::move(t));
+          }
+        }
+      }
+      if (ir_.arity == 0) {
+        out.value.emplace<bool>(answer);
+      } else if (ir_.arity == 1) {
+        out.value.emplace<NodeSet>(std::move(nodes));
+      } else {
+        NormalizeTuples(&tuples);
+        out.value.emplace<TupleSet>(std::move(tuples));
+      }
+      return out;
+    }
+    case plan::EngineKind::kDichotomy: {
+      if (query_.language == Language::kCq) {
         bool used_tractable_path = false;
         TREEQ_ASSIGN_OR_RETURN(
             bool answer,
@@ -255,30 +597,71 @@ Result<QueryResult> Plan::Execute(const Document& doc,
             used_tractable_path ? "cq.x_property" : "cq.backtracking";
         return out;
       }
-      TREEQ_ASSIGN_OR_RETURN(
-          TupleSet tuples,
-          cq::EvaluateAcyclic(*query_.cq, doc, UINT64_MAX, exec,
-                              options.axis_memo));
-      out.value.emplace<TupleSet>(std::move(tuples));
+      bool answer = false;
+      for (const cq::ConjunctiveQuery& branch : cq_branches_) {
+        if (answer) break;
+        TREEQ_ASSIGN_OR_RETURN(
+            bool branch_answer,
+            cq::EvaluateBooleanDichotomy(branch, doc,
+                                         /*used_tractable_path=*/nullptr,
+                                         exec));
+        answer = branch_answer;
+      }
+      out.value.emplace<bool>(answer);
       return out;
     }
-    case Language::kFo: {
-      bool answer = false;
-      if (fo_positive_) {
+    case plan::EngineKind::kDatalogTmnf: {
+      const datalog::Program& program = query_.language == Language::kDatalog
+                                            ? *query_.datalog
+                                            : *datalog_form_;
+      TREEQ_ASSIGN_OR_RETURN(
+          NodeSet nodes,
+          datalog::EvaluateDatalog(program, doc, /*stats=*/nullptr, exec));
+      out.value.emplace<NodeSet>(std::move(nodes));
+      return out;
+    }
+    case plan::EngineKind::kFoCorollary52: {
+      if (query_.language == Language::kFo) {
         TREEQ_ASSIGN_OR_RETURN(
-            answer,
+            bool answer,
             fo::EvaluateSentencePositive(*query_.fo, doc, /*stats=*/nullptr,
                                          exec));
-      } else {
+        out.value.emplace<bool>(answer);
+        return out;
+      }
+      bool answer = false;
+      for (const std::unique_ptr<fo::Formula>& sentence : fo_branches_) {
+        if (answer) break;
         TREEQ_ASSIGN_OR_RETURN(
-            answer,
+            bool branch_answer,
+            fo::EvaluateSentencePositive(*sentence, doc, /*stats=*/nullptr,
+                                         exec));
+        answer = branch_answer;
+      }
+      out.value.emplace<bool>(answer);
+      return out;
+    }
+    case plan::EngineKind::kFoNaive: {
+      if (query_.language == Language::kFo) {
+        TREEQ_ASSIGN_OR_RETURN(
+            bool answer,
             fo::EvaluateSentenceNaive(*query_.fo, doc, UINT64_MAX, exec));
+        out.value.emplace<bool>(answer);
+        return out;
+      }
+      bool answer = false;
+      for (const std::unique_ptr<fo::Formula>& sentence : fo_branches_) {
+        if (answer) break;
+        TREEQ_ASSIGN_OR_RETURN(
+            bool branch_answer,
+            fo::EvaluateSentenceNaive(*sentence, doc, UINT64_MAX, exec));
+        answer = branch_answer;
       }
       out.value.emplace<bool>(answer);
       return out;
     }
   }
-  return Status::Internal("plan with invalid language");
+  return Status::Internal("plan with invalid engine");
 }
 
 }  // namespace engine

@@ -6,7 +6,10 @@
 #include <string_view>
 
 #include "cq/dichotomy.h"
+#include "cq/twig_join.h"
 #include "engine/query.h"
+#include "plan/cost.h"
+#include "plan/ir.h"
 #include "query/parse.h"
 #include "tree/axes.h"
 #include "tree/document.h"
@@ -21,10 +24,23 @@
 ///
 /// Compile() front-loads everything that depends only on the query text:
 ///   - parsing (query/parse.h, all errors kParseError + byte offset);
+///   - lowering into the unified logical IR (plan/ir.h) and
+///     canonicalization (plan/canonicalize.h), giving the plan a stable
+///     128-bit identity shared by semantically identical queries across
+///     languages — PlanCache and ResultCache key on it;
 ///   - CQ: dichotomy classification (Theorem 6.8) and shape checks, so Run
 ///     routes straight to X-property or Yannakakis evaluation;
 ///   - FO: sentence check and positivity, so Run routes to the Corollary
-///     5.2 pipeline or the naive oracle without re-walking the AST.
+///     5.2 pipeline or the naive oracle without re-walking the AST;
+///   - eligibility: the list of physical engines (plan/cost.h) that can
+///     answer this plan, native ones plus every engine the IR's structural
+///     form converts to.
+///
+/// Execute() picks among the eligible engines with the cost-based router
+/// (plan/route.h) when the request is unbounded; budget-bounded requests
+/// keep the historical native routing (including the streaming degradation
+/// gate), so budget semantics are unchanged. ExecuteOptions::force_route
+/// pins a specific engine for tests and experiments.
 ///
 /// A compiled Plan is immutable; Run is const and thread-safe, so one
 /// PlanPtr is shared freely across the Executor's workers.
@@ -80,6 +96,12 @@ struct ExecuteOptions {
   /// The parallel XPath route ignores it (per-partition charge shares and
   /// whole-set memo entries don't compose).
   AxisImageMemo* axis_memo = nullptr;
+
+  /// When non-empty, bypasses the router and runs this engine (a
+  /// plan::EngineName, e.g. "cq.twigstack"). InvalidArgument for unknown
+  /// names; Unsupported when the engine is not in EligibleEngines().
+  /// Tests use it to prove every eligible engine answers identically.
+  std::string force_route;
 };
 
 class Plan {
@@ -155,10 +177,43 @@ class Plan {
   /// set-at-a-time evaluator's charge schedule.
   uint64_t EstimatedVisits(const Document& doc) const;
 
+  /// The canonical logical plan (plan/ir.h) this query lowered to, and its
+  /// stable 128-bit identity. Dialect-insensitive: semantically identical
+  /// queries in any language share the hash.
+  const plan::LogicalPlan& ir() const { return ir_; }
+  plan::CanonicalHash canonical_hash() const { return canonical_hash_; }
+
+  /// Every physical engine that can answer this plan, native first. Valid
+  /// values for ExecuteOptions::force_route (via plan::EngineName).
+  const std::vector<plan::EngineKind>& EligibleEngines() const {
+    return eligible_;
+  }
+
+  /// The engine the query's own language pipeline uses — the router's
+  /// fallback and the recipient of its native discount.
+  plan::EngineKind NativeEngine() const;
+
+  /// Runtime routing table for `doc`: every eligible engine with its
+  /// estimated cost, cheapest first, one line per engine. Does not
+  /// execute anything.
+  std::string ExplainRouting(const Document& doc) const;
+
  private:
   Plan() = default;
 
   bool PredictsBlowup(const Document& doc, const ExecContext& exec) const;
+
+  /// Lowers query_ into ir_, canonicalizes, and computes eligible_ plus
+  /// the cross-engine forms (twig patterns, CQ branches, FO sentences,
+  /// datalog program). Called once at the end of Compile().
+  void BuildLogicalPlan();
+
+  /// Runs one specific engine. `kind` must be eligible. The native XPath
+  /// arm keeps the degradation and parallel gates.
+  Result<QueryResult> ExecuteEngine(plan::EngineKind kind,
+                                    const Document& doc,
+                                    const ExecContext& exec,
+                                    const ExecuteOptions& options) const;
 
   std::string text_;
   ParseOptions parse_options_;
@@ -171,6 +226,20 @@ class Plan {
   /// Forward rewrite of an XPath query usable by the streaming fallback;
   /// null when the query is outside the streamable fragment.
   std::unique_ptr<xpath::PathExpr> stream_query_;
+
+  /// Canonical logical IR + identity (see ir()).
+  plan::LogicalPlan ir_;
+  plan::CanonicalHash canonical_hash_;
+  /// Engines that can answer this plan, native first.
+  std::vector<plan::EngineKind> eligible_;
+  /// Cross-engine forms synthesized from the canonical IR (empty/null when
+  /// the matching engine is not eligible). One entry per IR branch.
+  std::vector<cq::ConjunctiveQuery> cq_branches_;
+  std::vector<cq::TwigPattern> twig_branches_;
+  std::vector<std::vector<int>> twig_out_cols_;
+  std::vector<std::unique_ptr<fo::Formula>> fo_branches_;
+  /// XPath only: the TMNF translation (xpath/to_datalog.h), when it exists.
+  std::unique_ptr<datalog::Program> datalog_form_;
 };
 
 }  // namespace engine

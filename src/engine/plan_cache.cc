@@ -39,7 +39,9 @@ Result<PlanPtr> PlanCache::GetOrCompile(Language language,
       Touch(it);
       return it->second->plan;
     }
-    InsertLocked(std::move(key), plan);
+    // May alias onto a resident plan with the same canonical hash; serve
+    // whichever plan is resident for this text afterwards.
+    plan = InsertLocked(std::move(key), plan);
   }
   return plan;
 }
@@ -77,6 +79,7 @@ void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  canon_index_.clear();
 }
 
 size_t PlanCache::size() const {
@@ -89,15 +92,39 @@ void PlanCache::Touch(
   lru_.splice(lru_.begin(), lru_, it->second);
 }
 
-void PlanCache::InsertLocked(Key key, const PlanPtr& plan) {
+PlanPtr PlanCache::InsertLocked(Key key, const PlanPtr& plan) {
+  const plan::CanonicalHash hash = plan->canonical_hash();
+  const std::pair<uint64_t, uint64_t> canon_key{hash.hi, hash.lo};
+  auto canon = canon_index_.find(canon_key);
+  if (canon != canon_index_.end()) {
+    // Same canonical plan under another text: alias instead of occupying a
+    // second slot, so both texts share one entry (and one recency).
+    Entry& entry = *canon->second;
+    entry.aliases.push_back(key);
+    index_[std::move(key)] = canon->second;
+    lru_.splice(lru_.begin(), lru_, canon->second);
+    canonical_hits_.fetch_add(1, std::memory_order_relaxed);
+    TREEQ_OBS_INC("engine.plan_cache.canonical_hits");
+    return entry.plan;
+  }
   while (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().key);
+    const Entry& victim = lru_.back();
+    index_.erase(victim.key);
+    for (const Key& alias : victim.aliases) index_.erase(alias);
+    auto victim_canon = canon_index_.find({victim.hash.first,
+                                           victim.hash.second});
+    if (victim_canon != canon_index_.end() &&
+        victim_canon->second == std::prev(lru_.end())) {
+      canon_index_.erase(victim_canon);
+    }
     lru_.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);
     TREEQ_OBS_INC("engine.plan_cache.evictions");
   }
-  lru_.push_front(Entry{key, plan});
+  lru_.push_front(Entry{key, {}, canon_key, plan});
   index_[std::move(key)] = lru_.begin();
+  canon_index_[canon_key] = lru_.begin();
+  return plan;
 }
 
 }  // namespace engine

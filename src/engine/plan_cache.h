@@ -11,6 +11,7 @@
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "engine/plan.h"
 #include "query/parse.h"
@@ -33,10 +34,21 @@
 /// both compile, and the first insert wins (plans are immutable, so either
 /// copy is equally good).
 ///
-/// Obs counters: engine.plan_cache.hits / .misses / .evictions, plus
-/// engine.plan.compiles incremented by Plan::Compile itself — a cache hit
-/// leaves engine.plan.compiles untouched, which is how the bench proves
-/// hits skip compilation.
+/// Canonical aliasing: alongside the text index the cache keeps a second
+/// index on the plan's canonical 128-bit hash (plan/canonicalize.h). When
+/// a compile lands on a hash that is already resident — the same query in
+/// another dialect, whitespace, or variable naming, possibly another
+/// language — the new text becomes an *alias* of the resident entry: one
+/// list node, one PlanPtr, every alias text a map key pointing at it.
+/// Counted by canonical_hits(); future submits of either text are plain
+/// hits. Aliased texts therefore share one PlanCache entry, and (because
+/// ResultKey is the canonical hash too) one cached result and one
+/// singleflight.
+///
+/// Obs counters: engine.plan_cache.hits / .misses / .evictions /
+/// .canonical_hits, plus engine.plan.compiles incremented by
+/// Plan::Compile itself — a cache hit leaves engine.plan.compiles
+/// untouched, which is how the bench proves hits skip compilation.
 
 namespace treeq {
 namespace engine {
@@ -79,6 +91,12 @@ class PlanCache {
   uint64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
   }
+  /// Compiles whose canonical hash matched a resident plan of a different
+  /// text: the new text was aliased onto the resident entry instead of
+  /// occupying a slot of its own.
+  uint64_t canonical_hits() const {
+    return canonical_hits_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// The plan's full identity: what it parses as depends on all four
@@ -102,7 +120,9 @@ class PlanCache {
     }
   };
   struct Entry {
-    Key key;
+    Key key;                   // the text that first compiled the plan
+    std::vector<Key> aliases;  // other texts sharing this canonical plan
+    std::pair<uint64_t, uint64_t> hash;  // the plan's canonical hash
     PlanPtr plan;
   };
 
@@ -118,16 +138,23 @@ class PlanCache {
 
   /// Moves `it`'s entry to the front of the recency list. Caller holds mu_.
   void Touch(std::map<Key, std::list<Entry>::iterator>::iterator it);
-  /// Inserts under mu_ unless the key is already present.
-  void InsertLocked(Key key, const PlanPtr& plan);
+  /// Inserts under mu_ unless the key is already present; aliases onto a
+  /// resident entry when the canonical hash matches. Returns the plan that
+  /// is resident for `key` afterwards (the alias target on a canonical
+  /// hit, else `plan`).
+  PlanPtr InsertLocked(Key key, const PlanPtr& plan);
 
   const size_t capacity_;
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recently used
   std::map<Key, std::list<Entry>::iterator> index_;
+  /// (hash.hi, hash.lo) -> resident entry with that canonical hash.
+  std::map<std::pair<uint64_t, uint64_t>, std::list<Entry>::iterator>
+      canon_index_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> canonical_hits_{0};
 };
 
 }  // namespace engine

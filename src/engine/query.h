@@ -2,6 +2,7 @@
 #define TREEQ_ENGINE_QUERY_H_
 
 #include <cstdint>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -38,6 +39,12 @@ struct QueryResult {
   /// The evaluator that produced this answer ("xpath.set_at_a_time",
   /// "xpath.stream", "cq.x_property", ...); a string literal.
   const char* engine = "";
+
+  /// Why the cost-based router picked `engine` (one line, e.g.
+  /// "cq.twigstack cost=52 (native xpath.set_at_a_time cost=804)").
+  /// Empty when the router did not run: budget-bounded requests keep the
+  /// historical native routing, and cache hits reuse a stored result.
+  std::string route_rationale;
 
   /// Parallel-evaluation attribution (zero when the run stayed serial):
   /// the maximum fork degree of any parallel step, wall time spent inside

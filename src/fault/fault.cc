@@ -90,7 +90,7 @@ const std::vector<std::string>& KnownPoints() {
           "engine.queue.push",       "engine.shutdown",
           "engine.worker.run",       "exec.budget.charge",
           "exec.deadline.check",     "exec.memory.charge",
-          "store.evict.notify",
+          "plan.route.decide",       "store.evict.notify",
       };
   return *kPoints;
 }

@@ -13,6 +13,8 @@ void QueryProfile::WriteJson(std::ostream& os) const {
      << ", \"query\": \"" << JsonEscape(query) << "\", \"document\": \""
      << JsonEscape(document) << "\", \"engine\": \"" << JsonEscape(engine)
      << "\", \"explain\": \"" << JsonEscape(explain)
+     << "\", \"route_rationale\": \"" << JsonEscape(route_rationale)
+     << "\", \"canonical_hash\": \"" << JsonEscape(canonical_hash)
      << "\", \"cache_hit\": " << (cache_hit ? "true" : "false")
      << ", \"result_cache_hit\": " << (result_cache_hit ? "true" : "false")
      << ", \"degraded\": " << (degraded ? "true" : "false")

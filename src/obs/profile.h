@@ -46,8 +46,16 @@ struct QueryProfile {
   /// the route the plan would have taken.
   std::string engine;
   /// Plan::Explain(): the compile-time classification that decided the
-  /// routing (dichotomy class, positivity, stream capability).
+  /// routing (dichotomy class, positivity, stream capability, logical IR
+  /// + canonical hash + eligible engines).
   std::string explain;
+  /// The cost router's one-line verdict for this execution (empty when the
+  /// router did not run: bounded budgets, forced routes report "forced:",
+  /// cache hits).
+  std::string route_rationale;
+  /// The plan's canonical 128-bit identity, as 32 hex chars — the key
+  /// PlanCache and ResultCache share across dialects.
+  std::string canonical_hash;
 
   /// True when the plan came from a PlanCache hit (compile_ns is then 0).
   bool cache_hit = false;

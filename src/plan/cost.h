@@ -1,0 +1,83 @@
+#ifndef TREEQ_PLAN_COST_H_
+#define TREEQ_PLAN_COST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "plan/ir.h"
+#include "query/parse.h"
+#include "tree/document.h"
+
+/// \file cost.h
+/// The cost model behind the engine router (plan/route.h). One scored
+/// decision subsumes the previous ad-hoc gates: the Theorem 6.8 dichotomy
+/// classifier, the EstimatedVisits stream-degradation gate, and the
+/// parallel_min_visits gate all become terms of per-engine cost formulas
+/// fed by cheap Document statistics (node count, depth, label
+/// frequencies from the LabelIndex).
+///
+/// Costs are unitless "estimated visits" — deliberately the same scale as
+/// ExecContext's visit accounting, so the set-at-a-time formula equals the
+/// historical EstimatedVisits bound exactly. They only need to *rank*
+/// engines; absolute accuracy is a non-goal.
+
+namespace treeq {
+namespace plan {
+
+/// Every physical engine the router can pick. Names (EngineName) match the
+/// engine labels QueryProfile and Plan::route_name() already expose.
+enum class EngineKind {
+  kXPathSetAtATime,   // xpath.set_at_a_time
+  kXPathNaive,        // xpath.naive (always-dominated baseline)
+  kXPathStream,       // xpath.stream
+  kTwigStack,         // cq.twigstack
+  kStructuralJoins,   // cq.structural_joins
+  kYannakakis,        // cq.yannakakis
+  kDichotomy,         // cq.dichotomy (x-property fast path / backtracking)
+  kDatalogTmnf,       // datalog.tmnf
+  kFoCorollary52,     // fo.corollary52
+  kFoNaive,           // fo.naive
+};
+
+inline constexpr int kNumEngineKinds = 10;
+
+/// Canonical engine label, e.g. "cq.twigstack".
+const char* EngineName(EngineKind kind);
+
+/// Inverse of EngineName. Also accepts the post-hoc dichotomy labels
+/// "cq.x_property" and "cq.backtracking" (both map to kDichotomy).
+/// std::nullopt for anything else.
+std::optional<EngineKind> ParseEngineName(std::string_view name);
+
+/// The language whose native pipeline implements `kind`.
+Language EngineLanguage(EngineKind kind);
+
+/// Cheap per-document statistics for the cost formulas. Holds a borrowed
+/// Document pointer for label-frequency lookups; must not outlive it.
+struct DocStats {
+  uint64_t nodes = 0;
+  uint64_t depth = 0;
+  const Document* doc = nullptr;
+
+  static DocStats For(const Document& doc);
+
+  /// Occurrences of `label` in the document (0 for unknown labels).
+  uint64_t LabelFrequency(std::string_view label) const;
+
+  /// min over the var's labels of LabelFrequency, or `nodes` for an
+  /// unlabeled variable — the candidate-set size a label-driven engine
+  /// scans for this variable.
+  uint64_t VarCandidates(const IrVar& var) const;
+};
+
+/// Estimated cost of answering `plan` with `kind`, saturating at
+/// UINT64_MAX. The caller is responsible for only passing eligible
+/// (engine, plan) pairs; the formula does not re-check eligibility.
+uint64_t EstimateCost(EngineKind kind, const LogicalPlan& plan,
+                      const DocStats& stats);
+
+}  // namespace plan
+}  // namespace treeq
+
+#endif  // TREEQ_PLAN_COST_H_

@@ -1,0 +1,44 @@
+#ifndef TREEQ_PLAN_LOWER_H_
+#define TREEQ_PLAN_LOWER_H_
+
+#include "cq/ast.h"
+#include "datalog/ast.h"
+#include "fo/ast.h"
+#include "plan/ir.h"
+#include "xpath/ast.h"
+
+/// \file lower.h
+/// Per-language lowering into the logical plan IR (plan/ir.h). Each
+/// lowering either produces a structural plan (a union of query graphs) or
+/// an opaque plan carrying a language-tagged canonical rendering — never
+/// an error: a query that parsed and validated always lowers.
+///
+/// Structural coverage:
+///   - XPath: positive queries. Unions and qualifier disjunctions
+///     distribute into branches (capped at kMaxBranches); kNot falls back
+///     to opaque. Absolute paths anchor variable 0 at the root.
+///   - CQ: everything except duplicate head variables.
+///   - Datalog: non-recursive programs over label/axis/intensional atoms;
+///     intensional predicates are inlined (unions of rule bodies
+///     distribute, capped). Builtins, negation, and recursion are opaque.
+///   - FO: positive existential sentences (kAnd/kOr/kExists over
+///     label/axis/equality atoms); kOr distributes, x = y merges
+///     variables via a Self edge. kNot/kForAll are opaque.
+
+namespace treeq {
+namespace plan {
+
+/// Branch blow-up cap for distributed unions/disjunctions. A query that
+/// would exceed it lowers to an opaque plan instead (still hashable,
+/// native engines only).
+inline constexpr size_t kMaxBranches = 32;
+
+LogicalPlan LowerXPath(const xpath::PathExpr& path);
+LogicalPlan LowerCq(const cq::ConjunctiveQuery& query);
+LogicalPlan LowerDatalog(const datalog::Program& program);
+LogicalPlan LowerFo(const fo::Formula& sentence);
+
+}  // namespace plan
+}  // namespace treeq
+
+#endif  // TREEQ_PLAN_LOWER_H_

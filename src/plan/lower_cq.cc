@@ -1,0 +1,45 @@
+#include <string>
+#include <utility>
+
+#include "plan/lower.h"
+
+namespace treeq {
+namespace plan {
+
+namespace {
+
+/// Canonical alpha-renaming for the opaque rendering: the hash must not
+/// depend on the source's variable names.
+cq::ConjunctiveQuery RenameVars(const cq::ConjunctiveQuery& query) {
+  cq::ConjunctiveQuery out;
+  for (int i = 0; i < query.num_vars(); ++i) {
+    out.AddVar("v" + std::to_string(i));
+  }
+  for (const cq::LabelAtom& atom : query.label_atoms()) {
+    out.AddLabelAtom(atom.label, atom.var);
+  }
+  for (const cq::AxisAtom& atom : query.axis_atoms()) {
+    out.AddAxisAtom(atom.axis, atom.var0, atom.var1);
+  }
+  for (int head : query.head_vars()) out.AddHeadVar(head);
+  return out;
+}
+
+}  // namespace
+
+LogicalPlan LowerCq(const cq::ConjunctiveQuery& query) {
+  LogicalPlan plan;
+  plan.arity = static_cast<int>(query.head_vars().size());
+  QueryGraph graph;
+  if (CqToGraph(query, &graph)) {
+    plan.branches.push_back(std::move(graph));
+    return plan;
+  }
+  // Duplicate head variables (Q(x, x)) have no per-var output marker;
+  // keep the query opaque under a renaming-insensitive rendering.
+  plan.opaque = "cq:" + RenameVars(query).ToString();
+  return plan;
+}
+
+}  // namespace plan
+}  // namespace treeq

@@ -1,0 +1,149 @@
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "plan/lower.h"
+
+namespace treeq {
+namespace plan {
+
+namespace {
+
+/// One unfolded alternative of an intensional predicate: a graph fragment
+/// whose `head` variable plays the predicate's argument.
+struct Fragment {
+  QueryGraph graph;
+  int head = 0;
+};
+
+class Unfolder {
+ public:
+  explicit Unfolder(const datalog::Program& program) {
+    for (const datalog::Rule& rule : program.rules()) {
+      rules_by_pred_[rule.head_pred].push_back(&rule);
+    }
+  }
+
+  /// Unfolds `pred` into a union of conjunctive fragments by inlining
+  /// every rule body, recursively expanding intensional atoms. Fails on
+  /// recursion, negation, builtins, and branch blow-up.
+  bool Unfold(const std::string& pred, std::vector<Fragment>* out) {
+    auto it = rules_by_pred_.find(pred);
+    if (it == rules_by_pred_.end()) return false;
+    if (in_progress_.count(pred) > 0) return false;  // recursive program
+    in_progress_.insert(pred);
+    for (const datalog::Rule* rule : it->second) {
+      std::vector<Fragment> alts(1);
+      // Rule variables map 1:1 into each alternative's graph; expansions
+      // of intensional atoms append their own (existential) variables.
+      for (Fragment& alt : alts) {
+        alt.graph.vars.resize(static_cast<size_t>(rule->num_vars()));
+        alt.head = rule->head_var;
+      }
+      if (!LowerBody(*rule, &alts)) {
+        in_progress_.erase(pred);
+        return false;
+      }
+      for (Fragment& alt : alts) out->push_back(std::move(alt));
+      if (out->size() > kMaxBranches) {
+        in_progress_.erase(pred);
+        return false;
+      }
+    }
+    in_progress_.erase(pred);
+    return true;
+  }
+
+ private:
+  bool LowerBody(const datalog::Rule& rule, std::vector<Fragment>* alts) {
+    for (const datalog::Atom& atom : rule.body) {
+      if (atom.negated) return false;
+      switch (atom.kind) {
+        case datalog::Atom::Kind::kLabel:
+          for (Fragment& alt : *alts) {
+            alt.graph.vars[static_cast<size_t>(atom.var0)].labels.push_back(
+                atom.label);
+          }
+          break;
+        case datalog::Atom::Kind::kAxis:
+          for (Fragment& alt : *alts) {
+            alt.graph.edges.push_back(
+                IrEdge{atom.var0, atom.var1, atom.axis});
+          }
+          break;
+        case datalog::Atom::Kind::kIntensional: {
+          std::vector<Fragment> expansions;
+          if (!Unfold(atom.predicate, &expansions)) return false;
+          // Cross product: each alternative so far times each expansion,
+          // with the expansion's variables appended and its head merged
+          // into the atom's variable via a Self edge (the canonicalizer
+          // collapses it).
+          std::vector<Fragment> next;
+          for (const Fragment& alt : *alts) {
+            for (const Fragment& exp : expansions) {
+              Fragment merged = alt;
+              const int base =
+                  static_cast<int>(merged.graph.vars.size());
+              for (const IrVar& v : exp.graph.vars) {
+                merged.graph.vars.push_back(v);
+              }
+              for (const IrEdge& e : exp.graph.edges) {
+                merged.graph.edges.push_back(
+                    IrEdge{e.from + base, e.to + base, e.axis});
+              }
+              merged.graph.edges.push_back(
+                  IrEdge{atom.var0, exp.head + base, Axis::kSelf});
+              next.push_back(std::move(merged));
+              if (next.size() > kMaxBranches) return false;
+            }
+          }
+          *alts = std::move(next);
+          break;
+        }
+        case datalog::Atom::Kind::kUnaryBuiltin:
+          return false;  // Root/Leaf/... are outside the CQ fragment
+      }
+    }
+    return true;
+  }
+
+  std::map<std::string, std::vector<const datalog::Rule*>> rules_by_pred_;
+  std::set<std::string> in_progress_;
+};
+
+/// Canonical alpha-renaming of every rule's variables for the opaque
+/// rendering (predicate names stay: they are part of the program).
+datalog::Program RenameVars(const datalog::Program& program) {
+  datalog::Program out = program;
+  for (datalog::Rule& rule : out.rules()) {
+    for (size_t i = 0; i < rule.var_names.size(); ++i) {
+      rule.var_names[i] = "v" + std::to_string(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LogicalPlan LowerDatalog(const datalog::Program& program) {
+  LogicalPlan plan;
+  plan.arity = 1;  // a monadic program selects the query predicate's nodes
+  Unfolder unfolder(program);
+  std::vector<Fragment> fragments;
+  if (unfolder.Unfold(program.query_predicate(), &fragments) &&
+      fragments.size() <= kMaxBranches) {
+    for (Fragment& fragment : fragments) {
+      fragment.graph.vars[static_cast<size_t>(fragment.head)].output_ord = 0;
+      plan.branches.push_back(std::move(fragment.graph));
+    }
+    return plan;
+  }
+  plan.branches.clear();
+  plan.opaque = "datalog:" + RenameVars(program).ToString();
+  return plan;
+}
+
+}  // namespace plan
+}  // namespace treeq

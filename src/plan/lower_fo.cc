@@ -1,0 +1,169 @@
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "plan/lower.h"
+
+namespace treeq {
+namespace plan {
+
+namespace {
+
+/// Lowers positive existential sentences. Each alternative is a graph
+/// under construction; `env` maps in-scope FO variable names to graph
+/// variable indices (per alternative the indices coincide: quantifiers
+/// allocate into every alternative in lockstep).
+class FoLowerer {
+ public:
+  bool Lower(const fo::Formula& f, std::vector<QueryGraph>* alts) {
+    switch (f.kind) {
+      case fo::Formula::Kind::kLabel: {
+        int v = VarFor(f.var0);
+        if (v < 0) return false;
+        for (QueryGraph& g : *alts) {
+          g.vars[static_cast<size_t>(v)].labels.push_back(f.label);
+        }
+        return true;
+      }
+      case fo::Formula::Kind::kAxis: {
+        int v0 = VarFor(f.var0);
+        int v1 = VarFor(f.var1);
+        if (v0 < 0 || v1 < 0) return false;
+        for (QueryGraph& g : *alts) {
+          g.edges.push_back(IrEdge{v0, v1, f.axis});
+        }
+        return true;
+      }
+      case fo::Formula::Kind::kEquals: {
+        // x = y is Self(x, y); the canonicalizer merges the endpoints.
+        int v0 = VarFor(f.var0);
+        int v1 = VarFor(f.var1);
+        if (v0 < 0 || v1 < 0) return false;
+        for (QueryGraph& g : *alts) {
+          g.edges.push_back(IrEdge{v0, v1, Axis::kSelf});
+        }
+        return true;
+      }
+      case fo::Formula::Kind::kAnd:
+        return Lower(*f.left, alts) && Lower(*f.right, alts);
+      case fo::Formula::Kind::kOr: {
+        // Each side lowers with its own copy of the scope state (its
+        // quantifiers must not leak into the other side), then the merged
+        // alternatives are padded to a common variable count so later
+        // lockstep allocations stay index-consistent. Padding variables
+        // are unconstrained (exists v . true); the canonicalizer prunes
+        // them.
+        std::vector<QueryGraph> other = *alts;
+        FoLowerer right = *this;
+        if (!Lower(*f.left, alts)) return false;
+        if (!right.Lower(*f.right, &other)) return false;
+        for (QueryGraph& g : other) alts->push_back(std::move(g));
+        if (alts->size() > kMaxBranches) return false;
+        size_t max_vars = 0;
+        for (const QueryGraph& g : *alts) {
+          max_vars = std::max(max_vars, g.vars.size());
+        }
+        for (QueryGraph& g : *alts) g.vars.resize(max_vars);
+        next_var_ = static_cast<int>(max_vars);
+        return true;
+      }
+      case fo::Formula::Kind::kExists: {
+        const int index = next_var_++;
+        for (QueryGraph& g : *alts) g.vars.emplace_back();
+        auto [it, fresh] = env_.try_emplace(f.var0, index);
+        const int shadowed = fresh ? -1 : it->second;
+        it->second = index;
+        const bool ok = Lower(*f.left, alts);
+        if (shadowed >= 0) {
+          it->second = shadowed;
+        } else {
+          env_.erase(f.var0);
+        }
+        return ok;
+      }
+      case fo::Formula::Kind::kNot:
+      case fo::Formula::Kind::kForAll:
+        return false;  // outside the positive existential fragment
+    }
+    return false;
+  }
+
+ private:
+  int VarFor(const std::string& name) const {
+    auto it = env_.find(name);
+    return it == env_.end() ? -1 : it->second;
+  }
+
+  std::map<std::string, int> env_;
+  int next_var_ = 0;
+};
+
+/// Canonical alpha-renaming for the opaque rendering: quantified variables
+/// become v0, v1, ... in binding order, so the hash ignores source names.
+std::unique_ptr<fo::Formula> Rename(const fo::Formula& f,
+                                    std::map<std::string, std::string>* env,
+                                    int* next) {
+  auto mapped = [env](const std::string& name) {
+    auto it = env->find(name);
+    return it == env->end() ? name : it->second;
+  };
+  std::unique_ptr<fo::Formula> out = f.Clone();
+  switch (f.kind) {
+    case fo::Formula::Kind::kLabel:
+      out->var0 = mapped(f.var0);
+      return out;
+    case fo::Formula::Kind::kAxis:
+    case fo::Formula::Kind::kEquals:
+      out->var0 = mapped(f.var0);
+      out->var1 = mapped(f.var1);
+      return out;
+    case fo::Formula::Kind::kAnd:
+    case fo::Formula::Kind::kOr:
+      out->left = Rename(*f.left, env, next);
+      out->right = Rename(*f.right, env, next);
+      return out;
+    case fo::Formula::Kind::kNot:
+      out->left = Rename(*f.left, env, next);
+      return out;
+    case fo::Formula::Kind::kExists:
+    case fo::Formula::Kind::kForAll: {
+      const std::string fresh = "v" + std::to_string((*next)++);
+      auto it = env->find(f.var0);
+      const bool had = it != env->end();
+      const std::string shadowed = had ? it->second : "";
+      (*env)[f.var0] = fresh;
+      out->var0 = fresh;
+      out->left = Rename(*f.left, env, next);
+      if (had) {
+        (*env)[f.var0] = shadowed;
+      } else {
+        env->erase(f.var0);
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LogicalPlan LowerFo(const fo::Formula& sentence) {
+  LogicalPlan plan;
+  plan.arity = 0;  // Plan::Compile only accepts sentences
+  FoLowerer lowerer;
+  std::vector<QueryGraph> alts(1);
+  if (lowerer.Lower(sentence, &alts)) {
+    plan.branches = std::move(alts);
+    return plan;
+  }
+  std::map<std::string, std::string> env;
+  int next = 0;
+  plan.branches.clear();
+  plan.opaque = "fo:" + fo::ToString(*Rename(sentence, &env, &next));
+  return plan;
+}
+
+}  // namespace plan
+}  // namespace treeq

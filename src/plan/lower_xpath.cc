@@ -1,0 +1,122 @@
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "plan/lower.h"
+
+namespace treeq {
+namespace plan {
+
+namespace {
+
+/// One partially-lowered alternative: the graph so far plus the variable
+/// the next step extends from. The engine evaluates every path — relative
+/// or absolute — from the root context ({root}), so lowering always starts
+/// anchored at variable 0 = root; the parser already encoded the
+/// relative/absolute distinction in the first step's axis (kChild vs
+/// kSelf).
+struct State {
+  QueryGraph graph;
+  int cur = 0;
+};
+
+bool LowerPath(const xpath::PathExpr& path, std::vector<State>* states);
+
+bool ApplyQualifier(const xpath::Qualifier& q, std::vector<State>* states) {
+  switch (q.kind) {
+    case xpath::Qualifier::Kind::kLabel:
+      for (State& st : *states) {
+        st.graph.vars[static_cast<size_t>(st.cur)].labels.push_back(q.label);
+      }
+      return true;
+    case xpath::Qualifier::Kind::kAnd:
+      return ApplyQualifier(*q.left, states) &&
+             ApplyQualifier(*q.right, states);
+    case xpath::Qualifier::Kind::kOr: {
+      std::vector<State> other = *states;
+      if (!ApplyQualifier(*q.left, states)) return false;
+      if (!ApplyQualifier(*q.right, &other)) return false;
+      for (State& st : other) states->push_back(std::move(st));
+      return states->size() <= kMaxBranches;
+    }
+    case xpath::Qualifier::Kind::kPath: {
+      // Existential sub-path from the qualified variable: the sub-path's
+      // variables join the graph but the context variable stays put. Each
+      // input state is lowered separately because the qualified variable's
+      // index differs between states forked by earlier unions.
+      std::vector<State> result;
+      for (State& st : *states) {
+        const int qualified = st.cur;
+        std::vector<State> sub;
+        sub.push_back(std::move(st));
+        if (!LowerPath(*q.path, &sub)) return false;
+        for (State& out : sub) {
+          out.cur = qualified;
+          result.push_back(std::move(out));
+        }
+        if (result.size() > kMaxBranches) return false;
+      }
+      *states = std::move(result);
+      return true;
+    }
+    case xpath::Qualifier::Kind::kNot:
+      return false;  // outside the structural fragment
+  }
+  return false;
+}
+
+bool LowerStep(const xpath::PathExpr& step, std::vector<State>* states) {
+  if (step.axis != Axis::kSelf) {
+    for (State& st : *states) {
+      const int next = static_cast<int>(st.graph.vars.size());
+      st.graph.vars.emplace_back();
+      st.graph.edges.push_back(IrEdge{st.cur, next, step.axis});
+      st.cur = next;
+    }
+  }
+  for (const std::unique_ptr<xpath::Qualifier>& q : step.qualifiers) {
+    if (!ApplyQualifier(*q, states)) return false;
+  }
+  return true;
+}
+
+bool LowerPath(const xpath::PathExpr& path, std::vector<State>* states) {
+  switch (path.kind) {
+    case xpath::PathExpr::Kind::kStep:
+      return LowerStep(path, states);
+    case xpath::PathExpr::Kind::kSeq:
+      return LowerPath(*path.left, states) && LowerPath(*path.right, states);
+    case xpath::PathExpr::Kind::kUnion: {
+      std::vector<State> other = *states;
+      if (!LowerPath(*path.left, states)) return false;
+      if (!LowerPath(*path.right, &other)) return false;
+      for (State& st : other) states->push_back(std::move(st));
+      return states->size() <= kMaxBranches;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+LogicalPlan LowerXPath(const xpath::PathExpr& path) {
+  LogicalPlan plan;
+  plan.arity = 1;
+  std::vector<State> states(1);
+  states[0].graph.anchored = true;
+  states[0].graph.vars.emplace_back();  // v0 = document root
+  states[0].cur = 0;
+  if (LowerPath(path, &states)) {
+    for (State& st : states) {
+      st.graph.vars[static_cast<size_t>(st.cur)].output_ord = 0;
+      plan.branches.push_back(std::move(st.graph));
+    }
+    return plan;
+  }
+  plan.branches.clear();
+  plan.opaque = "xpath:" + xpath::ToString(path);
+  return plan;
+}
+
+}  // namespace plan
+}  // namespace treeq

@@ -1,0 +1,102 @@
+#include "plan/route.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/obs.h"
+
+namespace treeq {
+namespace plan {
+
+namespace {
+
+/// TREEQ_OBS_INC caches one counter per macro site, so each engine's
+/// route counter needs its own literal.
+void CountRouteEngine(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kXPathSetAtATime:
+      TREEQ_OBS_INC("plan.route.xpath_set_at_a_time");
+      break;
+    case EngineKind::kXPathNaive:
+      TREEQ_OBS_INC("plan.route.xpath_naive");
+      break;
+    case EngineKind::kXPathStream:
+      TREEQ_OBS_INC("plan.route.xpath_stream");
+      break;
+    case EngineKind::kTwigStack:
+      TREEQ_OBS_INC("plan.route.cq_twigstack");
+      break;
+    case EngineKind::kStructuralJoins:
+      TREEQ_OBS_INC("plan.route.cq_structural_joins");
+      break;
+    case EngineKind::kYannakakis:
+      TREEQ_OBS_INC("plan.route.cq_yannakakis");
+      break;
+    case EngineKind::kDichotomy:
+      TREEQ_OBS_INC("plan.route.cq_dichotomy");
+      break;
+    case EngineKind::kDatalogTmnf:
+      TREEQ_OBS_INC("plan.route.datalog_tmnf");
+      break;
+    case EngineKind::kFoCorollary52:
+      TREEQ_OBS_INC("plan.route.fo_corollary52");
+      break;
+    case EngineKind::kFoNaive:
+      TREEQ_OBS_INC("plan.route.fo_naive");
+      break;
+  }
+}
+
+}  // namespace
+
+RouteDecision Route(const LogicalPlan& plan,
+                    const std::vector<EngineKind>& eligible,
+                    EngineKind native, const DocStats& stats) {
+  const auto start = std::chrono::steady_clock::now();
+  RouteDecision decision;
+  for (EngineKind kind : eligible) {
+    RouteCandidate c;
+    c.kind = kind;
+    c.native = kind == native;
+    c.cost = EstimateCost(kind, plan, stats);
+    if (c.native) {
+      // 20% native discount: defect only for a predicted win, not noise.
+      c.cost -= c.cost / 5;
+    }
+    decision.candidates.push_back(c);
+  }
+  std::stable_sort(decision.candidates.begin(), decision.candidates.end(),
+                   [](const RouteCandidate& a, const RouteCandidate& b) {
+                     if (a.cost != b.cost) return a.cost < b.cost;
+                     return a.native && !b.native;  // native wins ties
+                   });
+  decision.chosen =
+      decision.candidates.empty() ? native : decision.candidates[0].kind;
+  decision.rationale = EngineName(decision.chosen);
+  decision.rationale += " cost=";
+  decision.rationale += decision.candidates.empty()
+                            ? "?"
+                            : std::to_string(decision.candidates[0].cost);
+  if (decision.chosen != native) {
+    decision.rationale += " (native ";
+    decision.rationale += EngineName(native);
+    for (const RouteCandidate& c : decision.candidates) {
+      if (c.kind == native) {
+        decision.rationale += " cost=" + std::to_string(c.cost);
+        break;
+      }
+    }
+    decision.rationale += ")";
+  }
+  TREEQ_OBS_INC("plan.route.decisions");
+  CountRouteEngine(decision.chosen);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  TREEQ_OBS_HISTOGRAM(
+      "plan.cost_ns",
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+          .count());
+  return decision;
+}
+
+}  // namespace plan
+}  // namespace treeq

@@ -1,0 +1,53 @@
+#ifndef TREEQ_PLAN_ROUTE_H_
+#define TREEQ_PLAN_ROUTE_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/cost.h"
+
+/// \file route.h
+/// The cost-based engine router. Given a logical plan, the engines that
+/// can answer it (computed at compile time by engine/plan.cc), and the
+/// document's statistics, Route() scores every candidate with
+/// EstimateCost and picks the cheapest — with a mild thumb on the scale
+/// for the query's native engine, so ties and near-ties keep the
+/// historically expected pipeline.
+///
+/// Metrics: every decision bumps plan.route.decisions and a per-engine
+/// plan.route.<engine> counter, and records the decision latency in the
+/// plan.cost_ns histogram.
+
+namespace treeq {
+namespace plan {
+
+/// One scored candidate, reported through Plan::ExplainRouting.
+struct RouteCandidate {
+  EngineKind kind = EngineKind::kXPathSetAtATime;
+  uint64_t cost = 0;
+  bool native = false;
+};
+
+/// The router's verdict for one execution.
+struct RouteDecision {
+  EngineKind chosen = EngineKind::kXPathSetAtATime;
+  /// All scored candidates, cheapest first.
+  std::vector<RouteCandidate> candidates;
+  /// One-line human rationale, e.g.
+  /// "cq.twigstack cost=52 (native xpath.set_at_a_time cost=804)".
+  std::string rationale;
+};
+
+/// Scores `eligible` (must be non-empty and contain `native`) against
+/// `stats` and returns the cheapest engine. The native engine's score gets
+/// a 20% discount: it is the only engine whose constants we trust from
+/// the source language's own tests, so the router only defects from it
+/// for a predicted win, never on noise.
+RouteDecision Route(const LogicalPlan& plan,
+                    const std::vector<EngineKind>& eligible,
+                    EngineKind native, const DocStats& stats);
+
+}  // namespace plan
+}  // namespace treeq
+
+#endif  // TREEQ_PLAN_ROUTE_H_

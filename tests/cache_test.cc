@@ -55,6 +55,24 @@ NodeSet FromIds(int universe, std::initializer_list<NodeId> ids) {
   return s;
 }
 
+// Result keys are (doc epoch, canonical plan hash). For tests that key by
+// a real query, derive the hash from its compiled plan; tests exercising
+// pure cache mechanics use synthetic hashes via SyntheticKey.
+ResultKey KeyFor(const PlanPtr& plan, uint64_t doc_epoch) {
+  ResultKey key;
+  key.doc_epoch = doc_epoch;
+  key.query_hash_hi = plan->canonical_hash().hi;
+  key.query_hash_lo = plan->canonical_hash().lo;
+  return key;
+}
+
+ResultKey SyntheticKey(uint64_t doc_epoch, uint64_t lo) {
+  ResultKey key;
+  key.doc_epoch = doc_epoch;
+  key.query_hash_lo = lo;
+  return key;
+}
+
 // A query slow enough (naive FO, quadratic in document size) to keep a
 // one-worker pool busy for milliseconds while the test thread enqueues
 // follow-up submissions — the deterministic window the singleflight tests
@@ -195,10 +213,7 @@ TEST(ResultCacheTest, RoundTripsAllThreeValueShapes) {
     PlanPtr plan = Plan::Compile(c.language, c.text).value();
     QueryResult want = plan->Run(*doc).value();
 
-    ResultKey key;
-    key.doc_epoch = doc->epoch();
-    key.language = c.language;
-    key.text = c.text;
+    ResultKey key = KeyFor(plan, doc->epoch());
     EXPECT_FALSE(cache.Lookup(key).has_value());
     cache.Insert(key, want);
     std::optional<QueryResult> got = cache.Lookup(key);
@@ -212,24 +227,44 @@ TEST(ResultCacheTest, RoundTripsAllThreeValueShapes) {
   EXPECT_EQ(cache.misses(), 3u);
 }
 
-TEST(ResultCacheTest, DialectOptionsArePartOfTheKey) {
+// The key is the canonical plan hash, so dialect options (and language,
+// whitespace, variable naming) matter exactly when they change the
+// canonical plan. Different hashes are distinct entries; semantically
+// identical queries in different languages share one.
+TEST(ResultCacheTest, CanonicalHashIsTheKey) {
   ResultCache cache;
   QueryResult result;
   result.value = true;
 
-  ResultKey paper;
-  paper.doc_epoch = 1;
-  paper.text = "/Child+::a";
-  paper.xpath_paper_axes = true;
-  cache.Insert(paper, result);
+  ResultKey a = SyntheticKey(1, 0x1111);
+  cache.Insert(a, result);
 
-  ResultKey standard = paper;
-  standard.xpath_paper_axes = false;
-  EXPECT_FALSE(cache.Lookup(standard).has_value());
-  ResultKey deeper = paper;
-  deeper.max_nesting = 7;
-  EXPECT_FALSE(cache.Lookup(deeper).has_value());
-  EXPECT_TRUE(cache.Lookup(paper).has_value());
+  ResultKey other_hash = a;
+  other_hash.query_hash_lo = 0x2222;
+  EXPECT_FALSE(cache.Lookup(other_hash).has_value());
+  ResultKey other_hi = a;
+  other_hi.query_hash_hi = 7;
+  EXPECT_FALSE(cache.Lookup(other_hi).has_value());
+  ResultKey other_epoch = a;
+  other_epoch.doc_epoch = 2;
+  EXPECT_FALSE(cache.Lookup(other_epoch).has_value());
+  EXPECT_TRUE(cache.Lookup(a).has_value());
+
+  // The same query phrased in XPath and as a conjunctive query compiles
+  // to the same canonical hash, hence the same cache key. (The CQ needs
+  // the extra ancestor variable `w` to mirror XPath's root anchoring:
+  // `//product` can never match the root, so the faithful CQ asserts the
+  // product node has *some* ancestor.)
+  PlanPtr xpath =
+      Plan::Compile(Language::kXPath, "//product//rating5").value();
+  PlanPtr cq =
+      Plan::Compile(Language::kCq,
+                    "Q(y) :- Child+(w, x), Child+(x, y), Lab_product(x), "
+                    "Lab_rating5(y).")
+          .value();
+  EXPECT_EQ(KeyFor(xpath, 3), KeyFor(cq, 3));
+  cache.Insert(KeyFor(xpath, 3), result);
+  EXPECT_TRUE(cache.Lookup(KeyFor(cq, 3)).has_value());
 }
 
 TEST(ResultCacheTest, EntryCountAndByteBudgetsBound) {
@@ -240,10 +275,7 @@ TEST(ResultCacheTest, EntryCountAndByteBudgetsBound) {
   QueryResult result;
   result.value = NodeSet(64);
   for (int i = 0; i < 32; ++i) {
-    ResultKey key;
-    key.doc_epoch = 1;
-    key.text = "query " + std::to_string(i);
-    cache.Insert(key, result);
+    cache.Insert(SyntheticKey(1, static_cast<uint64_t>(i)), result);
   }
   EXPECT_LE(cache.size(), 4u);
   EXPECT_GT(cache.evictions(), 0u);
@@ -253,9 +285,7 @@ TEST(ResultCacheTest, InvalidateDocumentDropsEpoch) {
   ResultCache cache;
   QueryResult result;
   result.value = false;
-  ResultKey old_key;
-  old_key.doc_epoch = 5;
-  old_key.text = "//a";
+  ResultKey old_key = SyntheticKey(5, 0xA);
   ResultKey new_key = old_key;
   new_key.doc_epoch = 6;
   cache.Insert(old_key, result);
@@ -271,9 +301,7 @@ TEST(ResultCacheTest, InvalidateDocumentDropsEpoch) {
 
 TEST(InflightTableTest, LeaderRegistersFollowersShareOutcome) {
   InflightTable table;
-  ResultKey key;
-  key.doc_epoch = 1;
-  key.text = "//a";
+  ResultKey key = SyntheticKey(1, 0xA);
 
   EXPECT_FALSE(table.Join(key).has_value());  // leader
   auto f1 = table.Join(key);
@@ -302,9 +330,7 @@ TEST(InflightTableTest, LeaderRegistersFollowersShareOutcome) {
 
 TEST(InflightTableTest, ErrorsFanOutToFollowers) {
   InflightTable table;
-  ResultKey key;
-  key.doc_epoch = 2;
-  key.text = "//b";
+  ResultKey key = SyntheticKey(2, 0xB);
   EXPECT_FALSE(table.Join(key).has_value());
   auto follower = table.Join(key);
   ASSERT_TRUE(follower.has_value());

@@ -629,8 +629,21 @@ TEST(PlanTest, RunReportsTheEngineThatAnswered) {
                     "Q() :- Child+(x, y), Lab_product(x), Lab_review(y).")
           .value();
   EXPECT_EQ(std::string(bool_cq->Run(*doc)->engine), "cq.x_property");
+  // The router may honestly send a positive FO sentence to a cheaper
+  // cross-language engine; whatever it picks must be one it declared
+  // eligible. Forcing the native route pins the fo.corollary52 label.
   PlanPtr fo = Plan::Compile(Language::kFo, "exists x . Lab_name(x)").value();
-  EXPECT_EQ(std::string(fo->Run(*doc)->engine), "fo.corollary52");
+  QueryResult routed = fo->Run(*doc).value();
+  bool eligible = false;
+  for (plan::EngineKind kind : fo->EligibleEngines()) {
+    if (std::string(routed.engine) == plan::EngineName(kind)) eligible = true;
+  }
+  EXPECT_TRUE(eligible) << routed.engine;
+  ExecContext unbounded;
+  ExecuteOptions pinned;
+  pinned.force_route = "fo.corollary52";
+  EXPECT_EQ(std::string(fo->Execute(*doc, unbounded, pinned)->engine),
+            "fo.corollary52");
 }
 
 TEST(PlanCacheTest, GetOrCompileReportsHits) {

@@ -205,7 +205,8 @@ TEST(FaultPointsTest, EveryKnownPointIsFirable) {
   auto result_key = [&] {
     cache::ResultKey key;
     key.doc_epoch = doc->epoch();
-    key.text = plan->text();
+    key.query_hash_hi = plan->canonical_hash().hi;
+    key.query_hash_lo = plan->canonical_hash().lo;
     return key;
   };
   drivers["cache.result.insert"] = [&, result_key] {
@@ -294,6 +295,19 @@ TEST(FaultPointsTest, EveryKnownPointIsFirable) {
     Status status = context.ChargeMemory(64);
     ASSERT_FALSE(status.ok());
     EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  };
+  drivers["plan.route.decide"] = [&] {
+    // Injected router failure = the cost-based decision is abandoned and
+    // the plan falls back to its native engine. The answer must be the
+    // same nodes either way — misrouting recovery, not an error.
+    // Bounded runs take the legacy native path and never consult the
+    // router, so this reference result is immune to the armed plan.
+    ExecContext bounded = ExecContext::WithVisitBudget(uint64_t{1} << 40);
+    QueryResult want = plan->Run(*doc, bounded).value();
+    Result<QueryResult> got = plan->Run(*doc);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got->value, want.value)
+        << "fallback route must return identical results";
   };
   drivers["store.evict.notify"] = [&] {
     engine::DocumentStore store;

@@ -218,6 +218,80 @@ TEST(ParserFuzzTest, DeepNestingDoesNotOverflow) {
 }
 
 // ---------------------------------------------------------------------------
+// Lowering robustness: adversarial queries through the logical IR
+// ---------------------------------------------------------------------------
+
+// Plan::Compile now lowers every parsed query through the IR and
+// canonicalizer. Adversarial nesting must either compile (with a
+// well-formed canonical hash) or fail with the same " at offset <N>"
+// contract as plain parsing — the IR layers add no new crash or error
+// shape.
+TEST(PlanLoweringFuzzTest, AdversarialNestingKeepsOffsetContract) {
+  // Deep qualifier nesting: parses, lowers, and the canonicalizer's
+  // bounded rules terminate (the union rewrite caps branches; the hash
+  // is always produced).
+  std::string ok_deep = "a";
+  for (int i = 0; i < 200; ++i) ok_deep = "a[" + ok_deep + "]";
+  Result<engine::PlanPtr> deep =
+      engine::Plan::Compile(Language::kXPath, "//" + ok_deep);
+  ASSERT_TRUE(deep.ok()) << deep.status().ToString();
+  EXPECT_EQ(deep.value()->canonical_hash().ToHex().size(), 32u);
+
+  // Past the nesting guard, Compile reports the parser's offset error
+  // unchanged — the lowering never sees the query.
+  std::string too_deep = "a";
+  for (int i = 0; i < 2000; ++i) too_deep = "a[" + too_deep + "]";
+  Result<engine::PlanPtr> rejected =
+      engine::Plan::Compile(Language::kXPath, too_deep);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("nesting"), std::string::npos);
+  ExpectOffsetError(rejected.status(), too_deep.size(),
+                    "compile a[a[...]]*2000");
+
+  // Wide disjunction: qualifier unions fork lowering states; past the
+  // branch cap the plan falls back to an opaque IR leaf but still
+  // compiles, hashes, and runs.
+  std::string wide = "a[b";
+  for (int i = 0; i < 64; ++i) wide += " or b" + std::to_string(i);
+  wide += "]";
+  Result<engine::PlanPtr> fan =
+      engine::Plan::Compile(Language::kXPath, "//" + wide);
+  ASSERT_TRUE(fan.ok()) << fan.status().ToString();
+  EXPECT_EQ(fan.value()->canonical_hash().ToHex().size(), 32u);
+  EXPECT_FALSE(fan.value()->EligibleEngines().empty());
+}
+
+// Random parser-surviving inputs all the way through Compile: whatever
+// parses must lower, canonicalize, and declare at least its native
+// engine eligible; whatever fails keeps the offset contract.
+TEST(PlanLoweringFuzzTest, RandomInputsLowerOrFailCleanly) {
+  const Language kLanguages[] = {Language::kXPath, Language::kCq,
+                                 Language::kDatalog, Language::kFo};
+  Rng rng(20260808);
+  const std::string alphabet =
+      "ab[]()/.,:-+*= _QLChildNextSibexistsnotandorLab_?";
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string input;
+    const int len = static_cast<int>(rng.Uniform(1, 40));
+    for (int i = 0; i < len; ++i) {
+      input += alphabet[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(alphabet.size()) - 1))];
+    }
+    for (Language language : kLanguages) {
+      Result<engine::PlanPtr> plan = engine::Plan::Compile(language, input);
+      if (plan.ok()) {
+        EXPECT_EQ(plan.value()->canonical_hash().ToHex().size(), 32u);
+        EXPECT_FALSE(plan.value()->EligibleEngines().empty())
+            << LanguageName(language) << ": " << input;
+      } else if (plan.status().code() == StatusCode::kParseError) {
+        ExpectOffsetError(plan.status(), input.size(),
+                          LanguageName(language) + (": " + input));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Injection robustness: the engine under adversarial fault plans
 // ---------------------------------------------------------------------------
 

@@ -41,6 +41,13 @@ STRUCTURE_RULES = {
     # for the process-wide counters, and the leaf is one of the three
     # verbs the registry emits (src/fault/fault.cc).
     "fault": re.compile(r"^fault\.[a-z0-9_.]+\.(hits|fired|armed)$"),
+    # Planner metrics: the `plan.cost_ns` histogram plus counters in
+    # exactly three stages — `plan.lower.<language>` per lowering,
+    # `plan.canon.<leaf>` for canonicalization, and `plan.route.<leaf>`
+    # for routing decisions (per-engine picks use underscored engine
+    # names, e.g. plan.route.xpath_set_at_a_time). A fourth stage means
+    # updating this rule and the DESIGN.md taxonomy row together.
+    "plan": re.compile(r"^plan\.(cost_ns|(lower|canon|route)\.[a-z0-9_]+)$"),
 }
 
 
